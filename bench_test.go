@@ -1,0 +1,67 @@
+// Package repro's root benchmark harness: one benchmark per table / figure
+// / corollary of the paper, each delegating to the experiment registry
+// (internal/experiments) so that `go test -bench=.` regenerates every
+// reported artifact. The rows themselves are printed by cmd/repro; the
+// benchmarks measure the cost of regenerating them.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatalf("%s reported ATTENTION:\n%s", id, experiments.Render(res))
+		}
+	}
+}
+
+// Table 1 (Section 1.1): the LD* vs LD relationships under all four model
+// combinations.
+func BenchmarkTable1_BC(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkTable1_BnotC(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkTable1_notBC(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkTable1_notBnotC(b *testing.B) { benchExperiment(b, "E4") }
+
+// Figure 1 (Section 2): layered trees T_r and small instances H_r.
+func BenchmarkFigure1_LayeredTrees(b *testing.B) { benchExperiment(b, "E5") }
+
+// Section 2's in-text promise problem on cycles.
+func BenchmarkPromiseCycle(b *testing.B) { benchExperiment(b, "E6") }
+
+// Figure 2 (Section 3): the construction of G(M, r).
+func BenchmarkFigure2_GMr(b *testing.B) { benchExperiment(b, "E7") }
+
+// Section 3's in-text promise problem R.
+func BenchmarkPromiseHalting(b *testing.B) { benchExperiment(b, "E8") }
+
+// Figure 3 / Appendix A: pyramidal tables.
+func BenchmarkFigure3_Pyramid(b *testing.B) { benchExperiment(b, "E9") }
+
+// Corollary 1: randomised Id-oblivious decision.
+func BenchmarkCorollary1_Randomized(b *testing.B) { benchExperiment(b, "E10") }
+
+// Section 1.3 extensions.
+func BenchmarkNLD(b *testing.B)        { benchExperiment(b, "E11") }
+func BenchmarkHereditary(b *testing.B) { benchExperiment(b, "E12") }
+
+// Design-choice ablation: the two LOCAL runtimes.
+func BenchmarkRuntimeAblation(b *testing.B) { benchExperiment(b, "E13") }
+
+// Section 3.3 threshold observation and the PO model.
+func BenchmarkRandomizationThreshold(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkPOModel(b *testing.B)                { benchExperiment(b, "E15") }

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestGMRFlat(t *testing.T) {
+	if err := run([]string{"-machine", "halt-0", "-limit", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGMRPyramid(t *testing.T) {
+	if err := run([]string{"-machine", "counter-2-0", "-pyramid", "-limit", "5"}); err != nil {
+		t.Fatalf("pyramid build: %v", err)
+	}
+	// A machine whose table side is not a power of two must be rejected on
+	// the pyramid path.
+	if err := run([]string{"-machine", "counter-3-0", "-pyramid", "-limit", "5"}); err == nil {
+		t.Fatal("counter-3-0 has a 5x5 table; pyramid should reject it")
+	}
+}
+
+func TestGMRUnknownMachine(t *testing.T) {
+	if err := run([]string{"-machine", "zzz"}); err == nil {
+		t.Fatal("expected unknown-machine error")
+	}
+}

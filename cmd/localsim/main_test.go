@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestLocalsimCombos(t *testing.T) {
+	combos := [][]string{
+		{"-graph", "cycle", "-n", "6", "-decider", "3col"},
+		{"-graph", "path", "-n", "5", "-decider", "mis"},
+		{"-graph", "star", "-n", "5", "-decider", "degree2"},
+		{"-graph", "grid", "-n", "3", "-decider", "triangle-free"},
+		{"-graph", "tree", "-n", "3", "-decider", "degree2"},
+		{"-graph", "cycle", "-n", "6", "-decider", "3col", "-mp"},
+	}
+	for _, args := range combos {
+		if err := run(args); err != nil {
+			t.Errorf("localsim %v: %v", args, err)
+		}
+	}
+}
+
+func TestLocalsimErrors(t *testing.T) {
+	if err := run([]string{"-graph", "mystery"}); err == nil {
+		t.Error("unknown graph accepted")
+	}
+	if err := run([]string{"-decider", "mystery"}); err == nil {
+		t.Error("unknown decider accepted")
+	}
+}

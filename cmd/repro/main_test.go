@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "E6"}); err != nil {
+		t.Fatalf("repro -quick E6: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"E99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("expected unknown-experiment error, got %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	if err := run([]string{"-quick", "-seed", "3", "E4", "E11"}); err != nil {
+		t.Fatalf("repro E4 E11: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command tmrun runs a Turing machine from the library and prints its
+// execution trace and, for halting machines, the full execution table of
+// the paper's Section 3 construction.
+//
+// Usage:
+//
+//	tmrun -machine counter-3-0 [-steps 100] [-table]
+//	tmrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/turing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tmrun", flag.ContinueOnError)
+	name := fs.String("machine", "busybeaverish", "library machine name")
+	steps := fs.Int("steps", 100, "simulation budget")
+	table := fs.Bool("table", false, "print the execution table (halting machines)")
+	list := fs.Bool("list", false, "list library machines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, m := range turing.Library() {
+			res, err := turing.Run(m, *steps)
+			if err != nil {
+				return err
+			}
+			status := "runs past the budget"
+			if res.Halted {
+				status = fmt.Sprintf("halts after %d steps with output %c", res.Steps, res.Output)
+			}
+			fmt.Printf("%-16s states=%d  %s\n", m.Name, m.States, status)
+		}
+		return nil
+	}
+
+	var machine *turing.Machine
+	for _, m := range turing.Library() {
+		if m.Name == *name {
+			machine = m
+		}
+	}
+	if machine == nil {
+		return fmt.Errorf("unknown machine %q (try -list)", *name)
+	}
+
+	res, err := turing.Run(machine, *steps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine %s: ", machine.Name)
+	if res.Halted {
+		fmt.Printf("halted after %d steps, output %c\n", res.Steps, res.Output)
+	} else {
+		fmt.Printf("still running after %d steps\n", *steps)
+	}
+
+	rows := res.Steps + 1
+	if !res.Halted {
+		rows = min(*steps, 20)
+	}
+	trace, err := turing.Trace(machine, rows)
+	if err != nil {
+		return err
+	}
+	width := res.Steps + 1
+	if !res.Halted {
+		width = rows
+	}
+	fmt.Println("\ntrace (head position marked):")
+	for i, c := range trace {
+		fmt.Printf("%4d  %s\n", i, turing.FormatConfig(machine, c, width))
+	}
+
+	if *table {
+		if !res.Halted {
+			return fmt.Errorf("execution tables exist only for halting machines")
+		}
+		tab, err := turing.BuildTable(machine, *steps)
+		if err != nil {
+			return err
+		}
+		if err := tab.Check(); err != nil {
+			return fmt.Errorf("table failed its own check: %w", err)
+		}
+		fmt.Println("\nexecution table (rows = configurations):")
+		fmt.Print(tab.Format())
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHaltingMachineWithTable(t *testing.T) {
+	if err := run([]string{"-machine", "busybeaverish", "-table"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLooperTrace(t *testing.T) {
+	if err := run([]string{"-machine", "looper", "-steps", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableForLooperFails(t *testing.T) {
+	if err := run([]string{"-machine", "looper", "-table"}); err == nil {
+		t.Fatal("expected error: loopers have no execution table")
+	}
+}
+
+func TestUnknownMachine(t *testing.T) {
+	if err := run([]string{"-machine", "nonsense"}); err == nil {
+		t.Fatal("expected unknown-machine error")
+	}
+}

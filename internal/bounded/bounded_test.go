@@ -1,0 +1,295 @@
+package bounded
+
+import (
+	"testing"
+
+	"repro/internal/decide"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/tree"
+)
+
+// testParams uses the identity bound f(n) = n, the slowest strictly
+// increasing bound, keeping R(r) = 2^(r+1)+1 small enough to build.
+func testParams(r int) Params {
+	return Params{R: r, Bound: ids.Linear(1)}
+}
+
+func TestBigR(t *testing.T) {
+	p := testParams(1)
+	if p.BigR() != 5 {
+		t.Fatalf("R(1) = %d, want f(2^2+1) = 5", p.BigR())
+	}
+	p2 := Params{R: 1, Bound: ids.Linear(2)}
+	if p2.BigR() != 10 {
+		t.Fatalf("R(1) under 2n = %d, want 10", p2.BigR())
+	}
+}
+
+func TestInstancesWellFormed(t *testing.T) {
+	p := testParams(1)
+	large := p.LargeInstance()
+	if err := p.VerifyLarge(large); err != nil {
+		t.Fatalf("T_r rejected: %v", err)
+	}
+	smalls, err := p.AllSmallInstances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slices of depth 1 in a depth-5 tree: levels 0..4 as roots: 2^5-1 = 31.
+	if len(smalls) != 31 {
+		t.Fatalf("|H_r| = %d, want 31", len(smalls))
+	}
+	for i, h := range smalls {
+		if _, err := p.VerifySmall(h); err != nil {
+			t.Errorf("H+ %d rejected: %v", i, err)
+		}
+		// Every small instance has 2^(r+1)-1 tree nodes + 1 pivot.
+		if h.N() != 4 {
+			t.Errorf("H+ %d has %d nodes, want 4", i, h.N())
+		}
+		if !h.G.IsConnected() {
+			t.Errorf("H+ %d disconnected", i)
+		}
+	}
+}
+
+func TestMembership(t *testing.T) {
+	p := testParams(1)
+	large := p.LargeInstance()
+	if p.ContainsP(large) {
+		t.Error("T_r must not be in P")
+	}
+	if !p.ContainsPPrime(large) {
+		t.Error("T_r must be in P'")
+	}
+	smalls, _ := p.AllSmallInstances()
+	for i, h := range smalls {
+		if !p.ContainsP(h) {
+			t.Errorf("H+ %d not in P", i)
+		}
+		if !p.ContainsPPrime(h) {
+			t.Errorf("H+ %d not in P'", i)
+		}
+	}
+	// Garbage is in neither.
+	garbage := graph.UniformlyLabeled(graph.Cycle(5), "junk")
+	if p.ContainsP(garbage) || p.ContainsPPrime(garbage) {
+		t.Error("garbage accepted")
+	}
+	// A small instance with the pivot edge removed is in neither.
+	h := smalls[3].Clone()
+	mutilated, _ := h.InducedSubgraph(seq(h.N() - 1))
+	if p.ContainsP(mutilated) {
+		t.Error("pivot-less H accepted in P")
+	}
+}
+
+func TestStructureVerifierAcceptsPPrime(t *testing.T) {
+	p := testParams(1)
+	verifier := p.StructureVerifier()
+	if out := local.RunOblivious(verifier, p.LargeInstance()); !out.Accepted {
+		t.Fatalf("verifier rejected T_r: %v", out.Verdicts)
+	}
+	smalls, _ := p.AllSmallInstances()
+	for i, h := range smalls {
+		if out := local.RunOblivious(verifier, h); !out.Accepted {
+			t.Errorf("verifier rejected H+ %d: %v", i, out.Verdicts)
+		}
+	}
+}
+
+func TestStructureVerifierRejectsCorruption(t *testing.T) {
+	p := testParams(1)
+	verifier := p.StructureVerifier()
+	smalls, _ := p.AllSmallInstances()
+
+	tests := []struct {
+		name string
+		l    *graph.Labeled
+	}{
+		{"garbage labels", graph.UniformlyLabeled(graph.Cycle(6), "junk")},
+		{"wrong r", tree.NewLayeredTree(5).Labeled(p.R + 1)},
+		{"short tree", tree.NewLayeredTree(4).Labeled(p.R)},
+		{"deep tree", tree.NewLayeredTree(6).Labeled(p.R)},
+		{"pivot on non-border", func() *graph.Labeled {
+			h := smalls[len(smalls)/2].Clone()
+			pivot := h.N() - 1
+			for v := 0; v < pivot; v++ {
+				if !h.G.HasEdge(pivot, v) {
+					h.G.AddEdge(pivot, v)
+					break
+				}
+			}
+			return h
+		}()},
+		{"pivotless slice", func() *graph.Labeled {
+			h := smalls[len(smalls)/2]
+			cut, _ := h.InducedSubgraph(seq(h.N() - 1))
+			return cut
+		}()},
+		{"two pivots", func() *graph.Labeled {
+			h := smalls[len(smalls)/2].Clone()
+			pivot := h.N() - 1
+			g := h.G.Clone()
+			second := g.AddNode()
+			for _, u := range h.G.Neighbors(pivot) {
+				g.AddEdge(second, u)
+			}
+			labels := append(append([]graph.Label(nil), h.Labels...), tree.PivotLabel(p.R))
+			return graph.NewLabeled(g, labels)
+		}()},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if out := local.RunOblivious(verifier, tc.l); out.Accepted {
+				t.Error("corrupted instance accepted")
+			}
+		})
+	}
+}
+
+// The headline LD side: the ID-using decider accepts every small instance and
+// rejects T_r, under every legal bounded identifier assignment tried.
+func TestIDDeciderSeparates(t *testing.T) {
+	p := testParams(1)
+	suite, err := p.TreeSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := decide.VerifyLD(p.IDDecider(), suite, decide.BoundedIDs(p.Bound, 7), 5)
+	if !rep.OK() {
+		t.Fatalf("ID decider failed: %s\n%v", rep, rep.Failures)
+	}
+}
+
+// The LD* impossibility, finite form: an Id-oblivious algorithm cannot use
+// identifiers, and the structure checks accept both T_r and the small
+// instances, so the only hope would be some view unique to T_r. Coverage
+// measures exactly how much of T_r is view-covered by yes-instances.
+func TestCoverageGrowsWithR(t *testing.T) {
+	depth := 8
+	horizon := 1
+	var fractions []float64
+	for _, r := range []int{2, 3, 4} {
+		p := testParams(r)
+		rep, err := p.MeasureCoverageAtDepth(depth, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fractions = append(fractions, rep.InteriorFraction())
+	}
+	// Interior coverage must be monotone increasing in r and substantial for
+	// r = 4 (uncovered nodes are the dyadic-boundary fraction ~2^(2-r)).
+	if !(fractions[0] <= fractions[1] && fractions[1] <= fractions[2]) {
+		t.Errorf("interior coverage not monotone: %v", fractions)
+	}
+	if fractions[2] < 0.7 {
+		t.Errorf("interior coverage at r=4 = %v, want >= 0.7", fractions[2])
+	}
+	if fractions[0] > fractions[2]-0.1 {
+		t.Errorf("coverage shape too flat: %v", fractions)
+	}
+}
+
+func TestMeasureCoverageErrors(t *testing.T) {
+	p := testParams(3)
+	if _, err := p.MeasureCoverageAtDepth(2, 1); err == nil {
+		t.Error("depth < r accepted")
+	}
+}
+
+func TestCyclePromise(t *testing.T) {
+	p := Params{R: 8, Bound: ids.Linear(2)} // f(8) = 16; no-instance is C17
+	prob, err := p.CyclePromise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.Yes[0].N() != 8 || prob.No[0].N() != 17 {
+		t.Fatalf("cycle sizes %d/%d, want 8/17", prob.Yes[0].N(), prob.No[0].N())
+	}
+	// LD side: the ID decider separates under every legal assignment.
+	rep := decide.VerifyLD(p.CycleIDDecider(), prob.AsSuite(), decide.BoundedIDs(p.Bound, 5), 6)
+	if !rep.OK() {
+		t.Fatalf("cycle ID decider failed: %s\n%v", rep, rep.Failures)
+	}
+	// LD* side: the complete indistinguishability certificate.
+	same, err := p.CycleViewsIdentical(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("cycle views should be identical at horizon 2")
+	}
+}
+
+func TestCyclePromiseValidation(t *testing.T) {
+	p := Params{R: 2, Bound: ids.Linear(1)}
+	if _, err := p.CyclePromise(); err == nil {
+		t.Error("r < 3 accepted")
+	}
+	big := Params{R: 8, Bound: ids.Linear(1)}
+	if _, err := big.CycleViewsIdentical(4); err == nil {
+		t.Error("horizon too large for r accepted")
+	}
+}
+
+// The worst adversarial pair for an Id-oblivious algorithm: identical view
+// multisets mean not even view STATISTICS help; this holds exactly on cycles.
+func TestObliviousAlgorithmsProvablyFooledOnCycles(t *testing.T) {
+	p := Params{R: 10, Bound: ids.Linear(2)}
+	prob, _ := p.CyclePromise()
+	yes, no := prob.Yes[0], prob.No[0]
+	for horizon := 0; horizon <= 3; horizon++ {
+		yesSet := graph.ObliviousViewSet(yes, horizon)
+		noSet := graph.ObliviousViewSet(no, horizon)
+		if len(yesSet) != 1 || len(noSet) != 1 {
+			t.Fatalf("horizon %d: view sets %d/%d, want 1/1", horizon, len(yesSet), len(noSet))
+		}
+		for code := range yesSet {
+			if _, ok := noSet[code]; !ok {
+				t.Fatalf("horizon %d: views differ", horizon)
+			}
+		}
+	}
+}
+
+func TestCycleLabelRoundTrip(t *testing.T) {
+	r, err := ParseCycleLabel(CycleLabel(9))
+	if err != nil || r != 9 {
+		t.Fatalf("round trip: %d %v", r, err)
+	}
+	if _, err := ParseCycleLabel("bad"); err == nil {
+		t.Error("bad label parsed")
+	}
+}
+
+func TestExpectedBorderMatchesGraphBorder(t *testing.T) {
+	// The pivot verifier's expected border computation must agree with the
+	// graph-theoretic border for every slice.
+	p := testParams(2) // R(2) = 9
+	lt := tree.NewLayeredTree(p.BigR())
+	for _, s := range lt.AllSlices(p.R) {
+		want := make(map[tree.Coord]struct{})
+		borderNodes, err := lt.BorderNodes(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range borderNodes {
+			want[lt.Coords[v]] = struct{}{}
+		}
+		got := p.expectedBorder(s)
+		if !coordSetsEqual(got, want) {
+			t.Fatalf("slice %+v: expectedBorder %v != graph border %v", s, got, want)
+		}
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

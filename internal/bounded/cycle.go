@@ -1,0 +1,134 @@
+package bounded
+
+import (
+	"fmt"
+
+	"repro/internal/decide"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/tree"
+)
+
+// This file implements the Section 2 warm-up: the promise problem on cycles.
+//
+//	Instances are labelled graphs (G, r) where G is an n-cycle and the
+//	constant label is r. Promise: n = r or n = f(r)+1.
+//	Yes-instance: n = r. No-instance: n = f(r)+1.
+//
+// (The paper states the no-instances as n = f(r); we use f(r)+1 so that the
+// pigeonhole argument is airtight for every legal identifier assignment —
+// with exactly f(r) nodes an adversary can use identifiers 0..f(r)-1 and no
+// single identifier proves n > r. See the package comment.)
+//
+// An Id-oblivious algorithm cannot decide the problem: every radius-t view
+// of either cycle is the same (for r > 2t+1), which CycleViewsIdentical
+// verifies exactly. With identifiers the problem is decidable: a node with
+// identifier >= f(r) knows n > r.
+
+// CycleLabel is the constant input label carried by every cycle node.
+func CycleLabel(r int) graph.Label { return fmt.Sprintf("cycle{r=%d}", r) }
+
+// ParseCycleLabel inverts CycleLabel.
+func ParseCycleLabel(lab graph.Label) (int, error) {
+	var r int
+	if _, err := fmt.Sscanf(lab, "cycle{r=%d}", &r); err != nil {
+		return 0, fmt.Errorf("bounded: bad cycle label %q: %w", lab, err)
+	}
+	return r, nil
+}
+
+// CyclePromise builds the promise problem for the given parameters.
+func (p Params) CyclePromise() (*decide.PromiseProblem, error) {
+	if p.R < 3 {
+		return nil, fmt.Errorf("bounded: cycle promise needs r >= 3, got %d", p.R)
+	}
+	yes := graph.UniformlyLabeled(graph.Cycle(p.R), CycleLabel(p.R))
+	no := graph.UniformlyLabeled(graph.Cycle(p.Bound.F(p.R)+1), CycleLabel(p.R))
+	return &decide.PromiseProblem{
+		Name: fmt.Sprintf("cycle-promise(r=%d,f=%s)", p.R, p.Bound.Name()),
+		Yes:  []*graph.Labeled{yes},
+		No:   []*graph.Labeled{no},
+	}, nil
+}
+
+// CycleIDDecider returns the ID-using decider for the cycle promise problem:
+// a node rejects iff its identifier is at least f(r) (so n > r, and by the
+// promise n = f(r)+1). Note the decider only needs to query f at r — under
+// (B, ¬C) this is one oracle call.
+func (p Params) CycleIDDecider() local.Algorithm {
+	name := fmt.Sprintf("cycle-id-decider(r=%d,f=%s)", p.R, p.Bound.Name())
+	return local.AlgorithmFunc(name, 1, func(view *graph.View) local.Verdict {
+		r, err := ParseCycleLabel(view.Labels[view.Root])
+		if err != nil || r != p.R {
+			return local.No
+		}
+		if view.G.Degree(view.Root) != 2 {
+			return local.No // promise violation; reject defensively
+		}
+		if view.RootID() >= p.Bound.F(p.R) {
+			return local.No
+		}
+		return local.Yes
+	})
+}
+
+// CycleViewsIdentical verifies the impossibility side exactly: at horizon t,
+// the yes-cycle and the no-cycle have precisely the same set of oblivious
+// views, hence any Id-oblivious algorithm accepts both or rejects both. This
+// is a complete (not sampled) indistinguishability certificate.
+func (p Params) CycleViewsIdentical(horizon int) (bool, error) {
+	if p.R < 2*horizon+2 {
+		return false, fmt.Errorf("bounded: need r > 2t+1 (r=%d, t=%d)", p.R, horizon)
+	}
+	prob, err := p.CyclePromise()
+	if err != nil {
+		return false, err
+	}
+	yesViews := graph.ObliviousViewSet(prob.Yes[0], horizon)
+	noViews := graph.ObliviousViewSet(prob.No[0], horizon)
+	if len(yesViews) != len(noViews) {
+		return false, nil
+	}
+	for code := range yesViews {
+		if _, ok := noViews[code]; !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// TreeSuite bundles yes/no instances of the promise-free Section 2 property
+// P for the decision harness: all small instances H_r (yes) and T_r plus
+// structurally corrupted variants (no).
+func (p Params) TreeSuite() (*decide.Suite, error) {
+	smalls, err := p.AllSmallInstances()
+	if err != nil {
+		return nil, err
+	}
+	large := p.LargeInstance()
+	no := []*graph.Labeled{large}
+	// Corruptions: break a coordinate label, drop the pivot edge set, attach
+	// the pivot to a non-border node.
+	if len(smalls) > 0 {
+		corruptLabel := smalls[0].Clone()
+		corruptLabel.Labels[0] = tree.CoordLabel(p.R+1, tree.Coord{X: 0, Y: 0})
+		no = append(no, corruptLabel)
+
+		h := smalls[len(smalls)/2].Clone()
+		// Find the pivot (last node by construction) and a non-border,
+		// non-adjacent tree node, then add an illegal pivot edge.
+		pivot := h.N() - 1
+		for v := 0; v < pivot; v++ {
+			if !h.G.HasEdge(pivot, v) {
+				h.G.AddEdge(pivot, v)
+				break
+			}
+		}
+		no = append(no, h)
+	}
+	return &decide.Suite{
+		Name: fmt.Sprintf("tree-suite(r=%d,f=%s)", p.R, p.Bound.Name()),
+		Yes:  smalls,
+		No:   no,
+	}, nil
+}

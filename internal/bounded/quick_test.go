@@ -1,0 +1,100 @@
+package bounded
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/tree"
+)
+
+// Property: every small instance H+ is accepted by the structure verifier
+// and contained in P, across random slices and both r values.
+func TestSmallInstancesAlwaysVerifyProperty_Quick(t *testing.T) {
+	params := map[int]Params{1: testParams(1), 2: testParams(2)}
+	trees := map[int]*tree.LayeredTree{1: params[1].Tree(), 2: params[2].Tree()}
+	slices := map[int][]tree.Slice{
+		1: trees[1].AllSlices(1),
+		2: trees[2].AllSlices(2),
+	}
+	property := func(rRaw, sRaw uint16) bool {
+		r := 1 + int(rRaw)%2
+		p := params[r]
+		s := slices[r][int(sRaw)%len(slices[r])]
+		h, err := p.SmallInstance(trees[r], s)
+		if err != nil {
+			return false
+		}
+		if !p.ContainsP(h) {
+			return false
+		}
+		return local.RunOblivious(p.StructureVerifier(), h).Accepted
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the ID decider accepts small instances under every legal bounded
+// assignment and rejects T_r under every legal bounded assignment.
+func TestIDDeciderSeparationProperty_Quick(t *testing.T) {
+	p := testParams(1)
+	smalls, err := p.AllSmallInstances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	large := p.LargeInstance()
+	dec := p.IDDecider()
+	property := func(pick uint16, seed int64) bool {
+		h := smalls[int(pick)%len(smalls)]
+		hIDs := ids.RandomBounded(h.N(), p.Bound, seed)
+		if !local.Run(dec, graph.NewInstance(h, hIDs)).Accepted {
+			return false
+		}
+		lIDs := ids.RandomBounded(large.N(), p.Bound, seed+1)
+		return !local.Run(dec, graph.NewInstance(large, lIDs)).Accepted
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: slice borders computed from the graph always match the
+// verifier's arithmetic border prediction.
+func TestBorderPredictionProperty_Quick(t *testing.T) {
+	p := testParams(2)
+	lt := p.Tree()
+	all := lt.AllSlices(p.R)
+	property := func(pick uint16) bool {
+		s := all[int(pick)%len(all)]
+		borderNodes, err := lt.BorderNodes(s)
+		if err != nil {
+			return false
+		}
+		want := make(map[tree.Coord]struct{}, len(borderNodes))
+		for _, v := range borderNodes {
+			want[lt.Coords[v]] = struct{}{}
+		}
+		return coordSetsEqual(p.expectedBorder(s), want)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cycle views of the promise pair are identical for every valid
+// (r, horizon) combination.
+func TestCycleIndistinguishabilityProperty_Quick(t *testing.T) {
+	property := func(rRaw, tRaw uint8) bool {
+		horizon := int(tRaw % 3)
+		r := 2*horizon + 3 + int(rRaw%5) // ensures r >= 2t+2 and r >= 3
+		p := Params{R: r, Bound: ids.Linear(2)}
+		same, err := p.CycleViewsIdentical(horizon)
+		return err == nil && same
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package core exposes the paper's primary contribution as a queryable
+// artifact: the complete characterisation of when unique node identifiers
+// help constant-time distributed decision (Theorem 1 and the table of
+// Section 1.1).
+//
+// The model has two switches:
+//
+//	(B)  identifiers bounded by f(n)   vs (¬B) unbounded identifiers
+//	(C)  computable local algorithms   vs (¬C) arbitrary functions
+//
+// The characterisation: LD* = LD if and only if BOTH restrictions are
+// dropped — identifiers are unnecessary exactly under (¬B, ¬C), where the
+// generic Id-oblivious simulation A* applies; under (B) the Section 2
+// layered-tree construction separates, and under (C) the Section 3
+// halting-table construction separates.
+//
+// Each quadrant names its witness construction and the experiment (see
+// DESIGN.md) that exercises it end to end.
+package core
+
+import "fmt"
+
+// Assumption selects one of the four model combinations.
+type Assumption struct {
+	// BoundedIDs is the paper's (B): identifiers below a function f of the
+	// instance size.
+	BoundedIDs bool
+	// Computable is the paper's (C): nodes run computable algorithms.
+	Computable bool
+}
+
+// String renders the assumption in the paper's notation.
+func (a Assumption) String() string {
+	b := "¬B"
+	if a.BoundedIDs {
+		b = "B"
+	}
+	c := "¬C"
+	if a.Computable {
+		c = "C"
+	}
+	return "(" + b + ", " + c + ")"
+}
+
+// Quadrant is one cell of the paper's results table.
+type Quadrant struct {
+	Assumption Assumption
+	// Separated is true when LD* != LD (identifiers are necessary).
+	Separated bool
+	// Witness names the construction establishing the cell.
+	Witness string
+	// Experiment is the id of the experiment exercising the cell.
+	Experiment string
+}
+
+// Characterization returns the paper's full results table (Theorem 1 plus
+// the (¬B, ¬C) equality).
+func Characterization() []Quadrant {
+	return []Quadrant{
+		{
+			Assumption: Assumption{BoundedIDs: true, Computable: true},
+			Separated:  true,
+			Witness:    "Section 3 halting tables (bounded identifiers still reach the runtime)",
+			Experiment: "E1",
+		},
+		{
+			Assumption: Assumption{BoundedIDs: true, Computable: false},
+			Separated:  true,
+			Witness:    "Section 2 layered trees T_r vs H_r with the bound f as an oracle",
+			Experiment: "E2",
+		},
+		{
+			Assumption: Assumption{BoundedIDs: false, Computable: true},
+			Separated:  true,
+			Witness:    "Section 3 halting tables G(M, r); deciding P obliviously would separate L0/L1",
+			Experiment: "E3",
+		},
+		{
+			Assumption: Assumption{BoundedIDs: false, Computable: false},
+			Separated:  false,
+			Witness:    "the generic Id-oblivious simulation A* (reject iff some assignment rejects)",
+			Experiment: "E4",
+		},
+	}
+}
+
+// Separated answers the paper's question for one assumption combination:
+// does LD* != LD hold, i.e. do identifiers genuinely help?
+func Separated(a Assumption) bool {
+	return a.BoundedIDs || a.Computable
+}
+
+// Lookup returns the quadrant for an assumption.
+func Lookup(a Assumption) (Quadrant, error) {
+	for _, q := range Characterization() {
+		if q.Assumption == a {
+			return q, nil
+		}
+	}
+	return Quadrant{}, fmt.Errorf("core: no quadrant for %s", a)
+}
+
+// TableString renders the Section 1.1 table.
+func TableString() string {
+	cell := func(sep bool) string {
+		if sep {
+			return "LD* ≠ LD"
+		}
+		return "LD* = LD"
+	}
+	bc, _ := Lookup(Assumption{BoundedIDs: true, Computable: true})
+	bnc, _ := Lookup(Assumption{BoundedIDs: true, Computable: false})
+	nbc, _ := Lookup(Assumption{BoundedIDs: false, Computable: true})
+	nbnc, _ := Lookup(Assumption{BoundedIDs: false, Computable: false})
+	return fmt.Sprintf(
+		"          (C)         (¬C)\n(B)   %s    %s\n(¬B)  %s    %s\n",
+		cell(bc.Separated), cell(bnc.Separated), cell(nbc.Separated), cell(nbnc.Separated))
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCharacterizationMatchesPaperTable(t *testing.T) {
+	// The paper's table: separation everywhere except (¬B, ¬C).
+	want := map[Assumption]bool{
+		{BoundedIDs: true, Computable: true}:   true,
+		{BoundedIDs: true, Computable: false}:  true,
+		{BoundedIDs: false, Computable: true}:  true,
+		{BoundedIDs: false, Computable: false}: false,
+	}
+	quads := Characterization()
+	if len(quads) != 4 {
+		t.Fatalf("%d quadrants, want 4", len(quads))
+	}
+	seen := map[Assumption]bool{}
+	for _, q := range quads {
+		if seen[q.Assumption] {
+			t.Fatalf("duplicate quadrant %s", q.Assumption)
+		}
+		seen[q.Assumption] = true
+		if q.Separated != want[q.Assumption] {
+			t.Errorf("%s: separated=%v, want %v", q.Assumption, q.Separated, want[q.Assumption])
+		}
+		if q.Witness == "" || q.Experiment == "" {
+			t.Errorf("%s: missing witness or experiment", q.Assumption)
+		}
+	}
+}
+
+func TestSeparatedAgreesWithCharacterization_Quick(t *testing.T) {
+	property := func(b, c bool) bool {
+		a := Assumption{BoundedIDs: b, Computable: c}
+		q, err := Lookup(a)
+		return err == nil && q.Separated == Separated(a)
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssumptionString(t *testing.T) {
+	tests := map[Assumption]string{
+		{BoundedIDs: true, Computable: true}:   "(B, C)",
+		{BoundedIDs: true, Computable: false}:  "(B, ¬C)",
+		{BoundedIDs: false, Computable: true}:  "(¬B, C)",
+		{BoundedIDs: false, Computable: false}: "(¬B, ¬C)",
+	}
+	for a, want := range tests {
+		if a.String() != want {
+			t.Errorf("%+v renders %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := TableString()
+	if strings.Count(s, "LD* ≠ LD") != 3 {
+		t.Errorf("table should contain three separations:\n%s", s)
+	}
+	if strings.Count(s, "LD* = LD") != 1 {
+		t.Errorf("table should contain one equality:\n%s", s)
+	}
+}

@@ -1,0 +1,317 @@
+// Package decide models the paper's distributed decision framework: labelled
+// graph properties, the classes LD (locally decidable), LD* (decidable
+// Id-obliviously), NLD (nondeterministic local decision, with certificates)
+// and BPLD ((p,q)-randomised deciders), plus promise problems and the test
+// harness that checks a decider against a property on instance suites.
+package decide
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+)
+
+// Property is a labelled graph property: a collection of labelled graphs
+// closed under isomorphism. Implementations must depend only on the
+// isomorphism class of the input.
+type Property interface {
+	Name() string
+	// Contains reports membership of the labelled graph in the property.
+	Contains(l *graph.Labeled) bool
+}
+
+// PropertyFunc adapts a function to a Property.
+func PropertyFunc(name string, contains func(l *graph.Labeled) bool) Property {
+	return funcProperty{name: name, contains: contains}
+}
+
+type funcProperty struct {
+	name     string
+	contains func(l *graph.Labeled) bool
+}
+
+func (p funcProperty) Name() string                   { return p.name }
+func (p funcProperty) Contains(l *graph.Labeled) bool { return p.contains(l) }
+
+// Instance suites --------------------------------------------------------------
+
+// Suite is a collection of labelled graphs with known membership, used to
+// exercise deciders.
+type Suite struct {
+	Name string
+	Yes  []*graph.Labeled
+	No   []*graph.Labeled
+}
+
+// Check validates the suite against a property (evidence that the suite and
+// the property definition agree).
+func (s *Suite) Check(p Property) error {
+	for i, l := range s.Yes {
+		if !p.Contains(l) {
+			return fmt.Errorf("decide: suite %s yes-instance %d rejected by %s", s.Name, i, p.Name())
+		}
+	}
+	for i, l := range s.No {
+		if p.Contains(l) {
+			return fmt.Errorf("decide: suite %s no-instance %d accepted by %s", s.Name, i, p.Name())
+		}
+	}
+	return nil
+}
+
+// LD / LD* verification --------------------------------------------------------
+
+// Report aggregates the result of exercising a decider on a suite.
+type Report struct {
+	Decider   string
+	Suite     string
+	YesPassed int
+	YesTotal  int
+	NoPassed  int
+	NoTotal   int
+	Failures  []string
+}
+
+// OK reports whether every instance behaved as required.
+func (r *Report) OK() bool {
+	return r.YesPassed == r.YesTotal && r.NoPassed == r.NoTotal
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("FAIL (%d failures)", len(r.Failures))
+	}
+	return fmt.Sprintf("%s on %s: yes %d/%d, no %d/%d — %s",
+		r.Decider, r.Suite, r.YesPassed, r.YesTotal, r.NoPassed, r.NoTotal, status)
+}
+
+// IDProvider generates identifier assignments for an n-node instance; the
+// harness runs each instance under several assignments, since an LD decider
+// must work for every legal assignment.
+type IDProvider func(n int, trial int) []int
+
+// BoundedIDs returns an IDProvider drawing legal assignments under bound b:
+// trial 0 is sequential, trial 1 adversarial (largest legal values), further
+// trials random.
+func BoundedIDs(b ids.Bound, seed int64) IDProvider {
+	return func(n, trial int) []int {
+		switch trial {
+		case 0:
+			return ids.Sequential(n)
+		case 1:
+			return ids.Adversarial(n, b)
+		default:
+			return ids.RandomBounded(n, b, seed+int64(trial))
+		}
+	}
+}
+
+// UnboundedIDs returns an IDProvider for the (¬B) regime: sequential,
+// shifted, then random with growing scale.
+func UnboundedIDs(seed int64) IDProvider {
+	return func(n, trial int) []int {
+		switch trial {
+		case 0:
+			return ids.Sequential(n)
+		case 1:
+			return ids.SequentialFrom(n, 1000000)
+		default:
+			return ids.RandomUnbounded(n, 10*trial, seed+int64(trial))
+		}
+	}
+}
+
+// VerifyLD exercises an ID-using algorithm as an LD decider for property p on
+// the suite: every yes-instance must be accepted under every tried
+// assignment, every no-instance rejected under every tried assignment.
+func VerifyLD(alg local.Algorithm, s *Suite, provider IDProvider, trials int) *Report {
+	r := &Report{Decider: alg.Name(), Suite: s.Name}
+	run := func(l *graph.Labeled, wantAccept bool, tag string, idx int) bool {
+		for trial := 0; trial < trials; trial++ {
+			in := graph.NewInstance(l, provider(l.N(), trial))
+			out := local.Run(alg, in)
+			if out.Accepted != wantAccept {
+				r.Failures = append(r.Failures, fmt.Sprintf(
+					"%s-instance %d trial %d: accepted=%v want %v", tag, idx, trial, out.Accepted, wantAccept))
+				return false
+			}
+		}
+		return true
+	}
+	for i, l := range s.Yes {
+		r.YesTotal++
+		if run(l, true, "yes", i) {
+			r.YesPassed++
+		}
+	}
+	for i, l := range s.No {
+		r.NoTotal++
+		if run(l, false, "no", i) {
+			r.NoPassed++
+		}
+	}
+	return r
+}
+
+// VerifyLDStar exercises an Id-oblivious algorithm on the suite (no
+// identifiers exist anywhere on this path).
+func VerifyLDStar(alg local.ObliviousAlgorithm, s *Suite) *Report {
+	r := &Report{Decider: alg.Name(), Suite: s.Name}
+	for i, l := range s.Yes {
+		r.YesTotal++
+		if out := local.RunOblivious(alg, l); out.Accepted {
+			r.YesPassed++
+		} else {
+			r.Failures = append(r.Failures, fmt.Sprintf("yes-instance %d rejected", i))
+		}
+	}
+	for i, l := range s.No {
+		r.NoTotal++
+		if out := local.RunOblivious(alg, l); !out.Accepted {
+			r.NoPassed++
+		} else {
+			r.Failures = append(r.Failures, fmt.Sprintf("no-instance %d accepted", i))
+		}
+	}
+	return r
+}
+
+// NLD ---------------------------------------------------------------------------
+
+// Certificate is a per-node certificate assignment (the nondeterministic
+// guess in NLD).
+type Certificate []graph.Label
+
+// NLDVerifier is a nondeterministic local decider: a local verifier of
+// (label, certificate) pairs. A property P is in NLD if there is a verifier
+// such that (G, x) ∈ P iff SOME certificate makes all nodes accept; for
+// (G, x) ∉ P every certificate must be rejected by some node.
+type NLDVerifier interface {
+	Name() string
+	Horizon() int
+	// Verify receives the view of a labelled graph whose node labels have
+	// been extended with certificates (encoded as label + "\x01" + cert).
+	Verify(view *graph.View) local.Verdict
+}
+
+// NLDVerifierFunc adapts a function to an NLDVerifier.
+func NLDVerifierFunc(name string, horizon int, verify func(view *graph.View) local.Verdict) NLDVerifier {
+	return funcNLD{name: name, horizon: horizon, verify: verify}
+}
+
+type funcNLD struct {
+	name    string
+	horizon int
+	verify  func(view *graph.View) local.Verdict
+}
+
+func (f funcNLD) Name() string                          { return f.name }
+func (f funcNLD) Horizon() int                          { return f.horizon }
+func (f funcNLD) Verify(view *graph.View) local.Verdict { return f.verify(view) }
+
+// CertSeparator joins a node's original label with its certificate inside the
+// extended label.
+const CertSeparator = "\x01"
+
+// WithCertificates extends a labelled graph's labels with certificates.
+func WithCertificates(l *graph.Labeled, cert Certificate) *graph.Labeled {
+	if len(cert) != l.N() {
+		panic(fmt.Sprintf("decide: %d certificates for %d nodes", len(cert), l.N()))
+	}
+	labels := make([]graph.Label, l.N())
+	for v, lab := range l.Labels {
+		labels[v] = lab + CertSeparator + cert[v]
+	}
+	return graph.NewLabeled(l.G, labels)
+}
+
+// SplitCertLabel recovers (original label, certificate) from an extended
+// label.
+func SplitCertLabel(lab graph.Label) (graph.Label, graph.Label) {
+	for i := 0; i+len(CertSeparator) <= len(lab); i++ {
+		if lab[i:i+len(CertSeparator)] == CertSeparator {
+			return lab[:i], lab[i+len(CertSeparator):]
+		}
+	}
+	return lab, ""
+}
+
+// RunNLD evaluates a verifier on a labelled graph under a given certificate.
+func RunNLD(v NLDVerifier, l *graph.Labeled, cert Certificate) local.Outcome {
+	extended := WithCertificates(l, cert)
+	alg := local.ObliviousFunc(v.Name(), v.Horizon(), v.Verify)
+	return local.RunOblivious(alg, extended)
+}
+
+// BPLD ---------------------------------------------------------------------------
+
+// PQDecider captures the paper's (p, q)-decider: yes-instances are fully
+// accepted with probability >= p, no-instances rejected (some node says no)
+// with probability >= q.
+type PQDecider struct {
+	Alg local.RandomizedAlgorithm
+	P   float64
+	Q   float64
+}
+
+// EstimatePQ measures empirical acceptance probability on yes-instances and
+// rejection probability on no-instances over the suite.
+func EstimatePQ(d PQDecider, s *Suite, trials int, seed int64) (pHat, qHat float64) {
+	if len(s.Yes) > 0 {
+		total := 0.0
+		for _, l := range s.Yes {
+			total += local.EstimateAcceptance(d.Alg, l, trials, seed)
+		}
+		pHat = total / float64(len(s.Yes))
+	} else {
+		pHat = 1
+	}
+	if len(s.No) > 0 {
+		total := 0.0
+		for _, l := range s.No {
+			total += 1 - local.EstimateAcceptance(d.Alg, l, trials, seed+1)
+		}
+		qHat = total / float64(len(s.No))
+	} else {
+		qHat = 1
+	}
+	return pHat, qHat
+}
+
+// Promise problems ----------------------------------------------------------------
+
+// PromiseProblem restricts attention to inputs satisfying a promise: deciders
+// are only required to answer correctly on promised instances.
+type PromiseProblem struct {
+	Name string
+	// Yes and No are the promised instances (the promise is Yes ∪ No).
+	Yes []*graph.Labeled
+	No  []*graph.Labeled
+}
+
+// AsSuite converts the promise problem to a plain suite (the harness treats
+// promised yes/no instances like ordinary ones).
+func (p *PromiseProblem) AsSuite() *Suite {
+	return &Suite{Name: p.Name, Yes: p.Yes, No: p.No}
+}
+
+// RandomCertificates draws k random certificate assignments over the given
+// alphabet (for probing NLD soundness: no certificate may save a
+// no-instance).
+func RandomCertificates(n, k int, alphabet []graph.Label, seed int64) []Certificate {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Certificate, k)
+	for i := range out {
+		cert := make(Certificate, n)
+		for v := range cert {
+			cert[v] = alphabet[rng.Intn(len(alphabet))]
+		}
+		out[i] = cert
+	}
+	return out
+}

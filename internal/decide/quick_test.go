@@ -1,0 +1,82 @@
+package decide
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Property: certificate embedding round-trips for arbitrary label/cert
+// strings (including separator-free binary-ish content in the label).
+func TestCertificateRoundTripProperty_Quick(t *testing.T) {
+	property := func(label, cert string) bool {
+		// Labels containing the separator are reserved by the encoding.
+		for _, c := range label {
+			if string(c) == CertSeparator {
+				return true // skip reserved inputs
+			}
+		}
+		g := graph.New(1)
+		l := graph.NewLabeled(g, []graph.Label{graph.Label(label)})
+		extended := WithCertificates(l, Certificate{graph.Label(cert)})
+		gotLabel, gotCert := SplitCertLabel(extended.Labels[0])
+		return string(gotLabel) == label && string(gotCert) == cert
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RandomCertificates always yields exactly k certificates of the
+// right length over the alphabet, deterministically per seed.
+func TestRandomCertificatesProperty_Quick(t *testing.T) {
+	alphabet := []graph.Label{"a", "b", "c"}
+	property := func(nRaw, kRaw uint8, seed int64) bool {
+		n := 1 + int(nRaw%10)
+		k := 1 + int(kRaw%10)
+		a := RandomCertificates(n, k, alphabet, seed)
+		b := RandomCertificates(n, k, alphabet, seed)
+		if len(a) != k {
+			return false
+		}
+		for i := range a {
+			if len(a[i]) != n {
+				return false
+			}
+			for v := range a[i] {
+				if a[i][v] != b[i][v] {
+					return false
+				}
+				ok := false
+				for _, s := range alphabet {
+					if a[i][v] == s {
+						ok = true
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a report is OK exactly when the pass counters match the totals.
+func TestReportOKProperty_Quick(t *testing.T) {
+	property := func(yp, yt, np, nt uint8) bool {
+		r := &Report{
+			YesPassed: int(yp % 8), YesTotal: int(yt % 8),
+			NoPassed: int(np % 8), NoTotal: int(nt % 8),
+		}
+		want := r.YesPassed == r.YesTotal && r.NoPassed == r.NoTotal
+		return r.OK() == want
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

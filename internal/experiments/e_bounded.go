@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bounded"
+	"repro/internal/decide"
+	"repro/internal/ids"
+)
+
+// RunE2 reproduces the Table 1 quadrant (B, ¬C): the Section 2 separation
+// with the identifier bound supplied as a black-box oracle (modelling ¬C).
+// Rows: the promise-free tree construction — ID decider verdicts on all
+// small instances and on T_r — plus the oblivious side's coverage summary.
+func RunE2(cfg Config) (*Result, error) {
+	// The oracle tabulates f(n) = n (identity is the slowest strictly
+	// increasing bound, keeping R(r) buildable); the algorithm only queries.
+	oracle := &ids.TabulatedOracle{
+		Table:   map[int]int{},
+		Default: func(n int) int { return n },
+		Label:   "tabulated-identity",
+	}
+	p := bounded.Params{R: 1, Bound: ids.OracleBound(oracle)}
+	suite, err := p.TreeSuite()
+	if err != nil {
+		return nil, err
+	}
+	rep := decide.VerifyLD(p.IDDecider(), suite, decide.BoundedIDs(p.Bound, cfg.Seed), 4)
+
+	res := &Result{
+		ID:     "E2",
+		Title:  "Section 2 under (B, ¬C): oracle-bounded identifiers decide P; structure checks decide P'",
+		Header: []string{"check", "value", "pass"},
+		OK:     rep.OK(),
+	}
+	res.Rows = append(res.Rows,
+		[]string{"R(r) = f(2^(r+1)+1)", fmt.Sprint(p.BigR()), "-"},
+		[]string{"|H_r| (yes-instances)", fmt.Sprint(rep.YesTotal), boolCell(rep.YesPassed == rep.YesTotal)},
+		[]string{"no-instances (T_r + corruptions)", fmt.Sprint(rep.NoTotal), boolCell(rep.NoPassed == rep.NoTotal)},
+		[]string{"ID decider report", rep.String(), boolCell(rep.OK())},
+	)
+	res.Notes = append(res.Notes,
+		"the bound f is consulted only through the Oracle interface (assumption ¬C)",
+		"no-instance n="+fmt.Sprint(suite.No[0].N())+" guarantees an identifier >= R(r) under (B)")
+	return res, nil
+}
+
+// RunE5 reproduces Figure 1: layered trees, small instances and the view
+// coverage at the heart of P ∉ LD*. The shape result: interior coverage
+// rises toward 1 as r grows (uncovered nodes are the dyadic-boundary
+// fraction ~2^(2-r)); the overall fraction also reports the known boundary
+// caveat (bottom range-edge nodes, documented in DESIGN.md).
+func RunE5(cfg Config) (*Result, error) {
+	depth := 9
+	rs := []int{2, 3, 4, 5}
+	if cfg.Quick {
+		depth = 7
+		rs = []int{2, 3}
+	}
+	res := &Result{
+		ID:     "E5",
+		Title:  "Layered-tree view coverage (horizon 1), host depth " + fmt.Sprint(depth),
+		Header: []string{"r", "hostNodes", "|H_r|", "coverage", "interiorCoverage"},
+		OK:     true,
+	}
+	prev := -1.0
+	for _, r := range rs {
+		p := bounded.Params{R: r, Bound: ids.Linear(1)}
+		rep, err := p.MeasureCoverageAtDepth(depth, 1)
+		if err != nil {
+			return nil, err
+		}
+		slices := 0
+		for y0 := 0; y0+r <= depth; y0++ {
+			slices += 1 << y0
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(r),
+			fmt.Sprint(rep.TotalNodes),
+			fmt.Sprint(slices),
+			fmtFloat(rep.Fraction()),
+			fmtFloat(rep.InteriorFraction()),
+		})
+		if rep.InteriorFraction() < prev {
+			res.OK = false
+			res.Notes = append(res.Notes, "interior coverage not monotone in r")
+		}
+		prev = rep.InteriorFraction()
+	}
+	res.Notes = append(res.Notes,
+		"paper's claim: every t-view of T_r occurs in H_r for r >> t; measured shape: interior coverage -> 1",
+		"full coverage needs r beyond feasible tree depths (R(r) = f(2^(r+1)+1)); see DESIGN.md substitutions")
+	return res, nil
+}
+
+// RunE6 reproduces the Section 2 promise problem: n = r versus n = f(r)+1
+// cycles. The ID decider separates under every assignment; the oblivious
+// side is impossible — verified exactly by comparing the complete view sets.
+func RunE6(cfg Config) (*Result, error) {
+	rs := []int{6, 8, 12}
+	if cfg.Quick {
+		rs = []int{6}
+	}
+	res := &Result{
+		ID:     "E6",
+		Title:  "Cycle promise problem under f(n) = 2n",
+		Header: []string{"r", "f(r)+1", "ID decider", "views identical (t=2)"},
+		OK:     true,
+	}
+	for _, r := range rs {
+		p := bounded.Params{R: r, Bound: ids.Linear(2)}
+		prob, err := p.CyclePromise()
+		if err != nil {
+			return nil, err
+		}
+		rep := decide.VerifyLD(p.CycleIDDecider(), prob.AsSuite(), decide.BoundedIDs(p.Bound, cfg.Seed), 5)
+		same, err := p.CycleViewsIdentical(2)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.OK() || !same {
+			res.OK = false
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(r),
+			fmt.Sprint(prob.No[0].N()),
+			boolCell(rep.OK()),
+			boolCell(same),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"views-identical is a complete indistinguishability certificate: any Id-oblivious decider treats both cycles alike",
+		"no-instances use n = f(r)+1 (paper says f(r)); see the off-by-one note in internal/bounded")
+	return res, nil
+}

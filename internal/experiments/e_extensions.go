@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/halting"
+	"repro/internal/oblivious"
+	"repro/internal/turing"
+)
+
+// RunE14 reproduces the paper's closing observation on randomisation
+// thresholds (Section 1.1 / 3.3): for hereditary languages, (p, q)-decidable
+// with p^2 + q > 1 collapses to deterministic decidability [FKP, Theorem
+// 3.3]; Corollary 1's decider for P achieves p = 1 and q -> 1, so
+// p^2 + q -> 2 — far above the threshold — while P remains OUTSIDE LD*.
+// Hence "the threshold result does not hold if we consider all languages"
+// in the Id-oblivious setting. The experiment measures (p, q) and reports
+// p^2 + q against the threshold.
+func RunE14(cfg Config) (*Result, error) {
+	trials := 150
+	ks := []int{3, 7}
+	if cfg.Quick {
+		trials = 30
+		ks = []int{3}
+	}
+	res := &Result{
+		ID:     "E14",
+		Title:  "Randomisation threshold: Corollary 1's decider exceeds p^2+q=1 yet P ∉ LD*",
+		Header: []string{"no-instance machine", "p (yes side)", "q (no side)", "p^2+q", "above threshold"},
+		OK:     true,
+	}
+	for _, k := range ks {
+		// Yes side: same construction with output 0; p = 1 by design.
+		yes := halting.Params{Machine: turing.Counter(k, '0'), R: 1, MaxSteps: 500, FragmentLimit: 10}
+		asmYes, err := yes.BuildG()
+		if err != nil {
+			return nil, err
+		}
+		p := 1 - yes.EstimateRejection(asmYes, trials, cfg.Seed)
+
+		no := halting.Params{Machine: turing.Counter(k, '1'), R: 1, MaxSteps: 500, FragmentLimit: 10}
+		asmNo, err := no.BuildG()
+		if err != nil {
+			return nil, err
+		}
+		q := no.EstimateRejection(asmNo, trials, cfg.Seed+1)
+
+		sum := p*p + q
+		above := sum > 1
+		if p < 1 || !above {
+			res.OK = false
+		}
+		res.Rows = append(res.Rows, []string{
+			no.Machine.Name, fmtFloat(p), fmtFloat(q), fmtFloat(sum), boolCell(above),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"hereditary threshold [FKP11, Thm 3.3]: p^2+q > 1 implies derandomisable; P breaks this for general languages",
+		"P is not hereditary: removing the pivot or table rows leaves graphs outside P")
+	return res, nil
+}
+
+// RunE15 reproduces the PO-model side of Section 1.3: port numbering and
+// orientation give strictly more than Id-obliviousness for construction
+// tasks (edge orientation, 2-colouring a 1-regular graph) yet still cannot
+// decide the paper's promise problems — under the consistent cycle
+// orientation, all PO views coincide across cycle lengths.
+func RunE15(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:     "E15",
+		Title:  "PO model: construction tasks solvable, size promise problems still impossible",
+		Header: []string{"check", "value", "pass"},
+		OK:     true,
+	}
+
+	// Construction side: orientation and 2-colouring via PO.
+	cyc := graph.UniformlyLabeled(graph.Cycle(8), "")
+	pn := oblivious.NewPortNumbering(cyc.G)
+	orientErr := oblivious.ValidOrientation(cyc, oblivious.RunPOOutputs(oblivious.OrientEdgesPO(), cyc, pn))
+	res.Rows = append(res.Rows, []string{"edge orientation on C8 via PO", "valid", boolCell(orientErr == nil)})
+	if orientErr != nil {
+		res.OK = false
+	}
+
+	matching := graph.New(4)
+	matching.AddEdge(0, 1)
+	matching.AddEdge(2, 3)
+	ml := graph.UniformlyLabeled(matching, "")
+	colors := oblivious.RunPOOutputs(oblivious.TwoColoringPO(), ml, oblivious.NewPortNumbering(matching))
+	colOK := colors[0] != colors[1] && colors[2] != colors[3]
+	res.Rows = append(res.Rows, []string{"2-colouring a 1-regular graph via PO", fmt.Sprint(colors), boolCell(colOK)})
+	if !colOK {
+		res.OK = false
+	}
+
+	// Decision side: consistent cycles of different lengths have IDENTICAL
+	// PO views, so the Section 2 promise problem stays impossible.
+	sizes := [2]int{6, 13}
+	if cfg.Quick {
+		sizes = [2]int{5, 9}
+	}
+	gA, pnA := oblivious.ConsistentCycleOrientation(sizes[0])
+	gB, pnB := oblivious.ConsistentCycleOrientation(sizes[1])
+	vA := oblivious.BuildPOView(graph.UniformlyLabeled(gA, "c"), pnA, 0, 2).Encode()
+	vB := oblivious.BuildPOView(graph.UniformlyLabeled(gB, "c"), pnB, 0, 2).Encode()
+	same := vA == vB
+	res.Rows = append(res.Rows, []string{
+		fmt.Sprintf("PO views of C%d vs C%d identical (t=2)", sizes[0], sizes[1]),
+		boolCell(same), boolCell(same),
+	})
+	if !same {
+		res.OK = false
+	}
+	// And all nodes within one consistent cycle agree too.
+	uniform := oblivious.POViewsAllEqual(graph.UniformlyLabeled(gA, "c"), pnA, 2)
+	res.Rows = append(res.Rows, []string{"all nodes of a consistent cycle share one PO view", boolCell(uniform), boolCell(uniform)})
+	if !uniform {
+		res.OK = false
+	}
+	res.Notes = append(res.Notes,
+		"PO sits strictly between Id-oblivious and LOCAL: symmetry breaking without size information",
+		"identifiers help decision exactly by leaking n — ports and orientations leak nothing about n")
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Ablation benches for DESIGN.md §5: the canonical-code implementation
+// (individualisation-refinement) against the brute-force oracle, and the
+// refinement-only invariant against the exact code on symmetric inputs.
+
+func benchGraphs() []*Labeled {
+	return []*Labeled{
+		RandomLabels(Random(8, 0.3, 1), []Label{"a", "b"}, 2),
+		UniformlyLabeled(Cycle(12), "c"),
+		UniformlyLabeled(Grid(3, 4), "g"),
+		UniformlyLabeled(CompleteBinaryTree(3), "t"),
+	}
+}
+
+func BenchmarkCanonicalCodeIR(b *testing.B) {
+	gs := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CanonicalCode(gs[i%len(gs)])
+	}
+}
+
+func BenchmarkIsomorphismViaCodes(b *testing.B) {
+	gs := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Isomorphic(gs[i%len(gs)], gs[(i+1)%len(gs)])
+	}
+}
+
+func BenchmarkIsomorphismBruteForce(b *testing.B) {
+	// The exponential oracle on the same inputs: the reason the canonical
+	// code exists.
+	gs := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForceIsomorphic(gs[i%len(gs)], gs[(i+1)%len(gs)])
+	}
+}
+
+func BenchmarkRefinementInvariantLargeSymmetric(b *testing.B) {
+	// A star with many identical leaves: worst case for IR branching, the
+	// regime where the WL-1 fallback earns its keep.
+	l := UniformlyLabeled(Star(400), "s")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RootedRefinementCode(l, 0)
+	}
+}
+
+func BenchmarkViewExtraction(b *testing.B) {
+	for _, t := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("radius-%d", t), func(b *testing.B) {
+			l := UniformlyLabeled(Grid(20, 20), "g")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ObliviousViewOf(l, (i*37)%l.N(), t)
+			}
+		})
+	}
+}
+
+func BenchmarkBallExtraction(b *testing.B) {
+	g := Grid(30, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Ball((i*101)%g.N(), 3)
+	}
+}

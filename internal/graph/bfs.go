@@ -1,0 +1,171 @@
+package graph
+
+// BFSFrom runs a breadth-first search from source and returns the distance to
+// every node; unreachable nodes get distance -1.
+func (g *Graph) BFSFrom(source int) []int {
+	g.check(source)
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Ball returns the nodes within distance t of v (the set B(v, t)), sorted by
+// (distance, node index). The center v is always first.
+func (g *Graph) Ball(v, t int) []int {
+	g.check(v)
+	if t < 0 {
+		panic("graph: negative radius")
+	}
+	dist := make(map[int]int, 16)
+	dist[v] = 0
+	ball := []int{v}
+	frontier := []int{v}
+	for d := 0; d < t && len(frontier) > 0; d++ {
+		var next []int
+		for _, w := range frontier {
+			for _, u := range g.adj[w] {
+				if _, seen := dist[u]; !seen {
+					dist[u] = d + 1
+					next = append(next, u)
+					ball = append(ball, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return ball
+}
+
+// IsConnected reports whether the graph is connected. The empty graph counts
+// as connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	dist := g.BFSFrom(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns the node sets of the connected components, each
+// sorted, in order of smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var components [][]int
+	for start := 0; start < g.N(); start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := len(components)
+		comp[start] = id
+		nodes := []int{start}
+		queue := []int{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[v] {
+				if comp[u] == -1 {
+					comp[u] = id
+					nodes = append(nodes, u)
+					queue = append(queue, u)
+				}
+			}
+		}
+		components = append(components, nodes)
+	}
+	for _, nodes := range components {
+		sortInts(nodes)
+	}
+	return components
+}
+
+// Diameter returns the largest finite shortest-path distance. It returns -1
+// for a disconnected or empty graph.
+func (g *Graph) Diameter() int {
+	if g.N() == 0 {
+		return -1
+	}
+	diameter := 0
+	for v := 0; v < g.N(); v++ {
+		dist := g.BFSFrom(v)
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	return diameter
+}
+
+// Distance returns the shortest-path distance between u and v, or -1 if they
+// are in different components.
+func (g *Graph) Distance(u, v int) int {
+	return g.BFSFrom(u)[v]
+}
+
+// IsTree reports whether the graph is connected and acyclic.
+func (g *Graph) IsTree() bool {
+	return g.N() > 0 && g.IsConnected() && g.M() == g.N()-1
+}
+
+// HasCycle reports whether the graph contains any cycle.
+func (g *Graph) HasCycle() bool {
+	visited := make([]bool, g.N())
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	for start := 0; start < g.N(); start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		stack := []int{start}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.adj[v] {
+				if !visited[u] {
+					visited[u] = true
+					parent[u] = v
+					stack = append(stack, u)
+				} else if parent[v] != u {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

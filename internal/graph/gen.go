@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph on n nodes (0-1-2-...-n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 nodes.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Star returns the star graph with one centre (node 0) and n-1 leaves.
+func Star(n int) *Graph {
+	if n < 1 {
+		panic("graph: star needs n >= 1")
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph. GridIndex gives the node numbering.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: invalid grid %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			if x+1 < cols {
+				g.AddEdge(GridIndex(y, x, cols), GridIndex(y, x+1, cols))
+			}
+			if y+1 < rows {
+				g.AddEdge(GridIndex(y, x, cols), GridIndex(y+1, x, cols))
+			}
+		}
+	}
+	return g
+}
+
+// GridIndex maps (row, col) to the node index used by Grid.
+func GridIndex(row, col, cols int) int { return row*cols + col }
+
+// Torus returns the rows x cols torus (grid with wraparound), requiring both
+// dimensions >= 3 to stay simple.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: torus needs dims >= 3, got %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			g.AddEdge(GridIndex(y, x, cols), GridIndex(y, (x+1)%cols, cols))
+			g.AddEdge(GridIndex(y, x, cols), GridIndex((y+1)%rows, x, cols))
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree of the given depth
+// (depth 0 is a single root). Node numbering is heap order: the root is 0 and
+// node v has children 2v+1 and 2v+2.
+func CompleteBinaryTree(depth int) *Graph {
+	if depth < 0 {
+		panic("graph: negative tree depth")
+	}
+	n := (1 << (depth + 1)) - 1
+	g := New(n)
+	for v := 0; 2*v+2 < n; v++ {
+		g.AddEdge(v, 2*v+1)
+		g.AddEdge(v, 2*v+2)
+	}
+	return g
+}
+
+// Random returns a connected Erdos-Renyi-style graph: a uniform spanning tree
+// skeleton plus each remaining edge independently with probability p. The
+// generator is deterministic given the seed.
+func Random(n int, p float64, seed int64) *Graph {
+	if n < 1 {
+		panic("graph: random graph needs n >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	// Random tree skeleton guarantees connectivity.
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomLabels assigns each node a label drawn uniformly from alphabet,
+// deterministically given the seed.
+func RandomLabels(g *Graph, alphabet []Label, seed int64) *Labeled {
+	if len(alphabet) == 0 {
+		panic("graph: empty label alphabet")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]Label, g.N())
+	for v := range labels {
+		labels[v] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return NewLabeled(g, labels)
+}

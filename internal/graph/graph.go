@@ -1,0 +1,208 @@
+// Package graph provides the graph substrate for the LOCAL-model decision
+// framework: simple undirected graphs, labelled graphs, identifier-carrying
+// instances, radius-t views, canonical forms of views modulo identifiers, and
+// generators for the graph families used throughout the paper (paths, cycles,
+// grids, layered trees are built on top in package tree).
+//
+// Nodes are dense integer indices 0..n-1. Labels are opaque strings; packages
+// that need structured labels (coordinates, Turing-machine cells) provide
+// their own encode/decode functions on top.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on nodes 0..n-1.
+//
+// The zero value is the empty graph. Adjacency lists are kept sorted so that
+// two structurally equal graphs compare equal field-wise.
+type Graph struct {
+	adj [][]int
+}
+
+// New returns an empty graph on n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// AddNode appends a new isolated node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge {u, v}. It is idempotent: inserting an
+// existing edge is a no-op. Self-loops are rejected because the paper's model
+// uses simple graphs.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	nbrs := g.adj[u]
+	i := sort.SearchInts(nbrs, v)
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	return g.adj[v]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the maximum degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// Edges returns all edges as ordered pairs (u, v) with u < v, sorted.
+func (g *Graph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.M())
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int, len(g.adj))
+	for i, nbrs := range g.adj {
+		adj[i] = append([]int(nil), nbrs...)
+	}
+	return &Graph{adj: adj}
+}
+
+// Equal reports whether g and h are identical as indexed graphs (same node
+// count and same edge set; this is equality, not isomorphism).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	for v, nbrs := range g.adj {
+		other := h.adj[v]
+		if len(nbrs) != len(other) {
+			return false
+		}
+		for i, u := range nbrs {
+			if other[i] != u {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InducedSubgraph returns the subgraph induced on the given nodes together
+// with the mapping from new indices to original node indices. The order of
+// nodes determines the new indexing; duplicate nodes are rejected.
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
+	index := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		g.check(v)
+		if _, dup := index[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate node %d in induced subgraph", v))
+		}
+		index[v] = i
+	}
+	sub := New(len(nodes))
+	for i, v := range nodes {
+		for _, u := range g.adj[v] {
+			if j, ok := index[u]; ok && i < j {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	original := append([]int(nil), nodes...)
+	return sub, original
+}
+
+// Relabel returns a copy of g with node v renamed to perm[v]. perm must be a
+// permutation of 0..n-1.
+func (g *Graph) Relabel(perm []int) *Graph {
+	n := g.N()
+	if len(perm) != n {
+		panic(fmt.Sprintf("graph: permutation length %d != n %d", len(perm), n))
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic("graph: invalid permutation")
+		}
+		seen[p] = true
+	}
+	h := New(n)
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				h.AddEdge(perm[u], perm[v])
+			}
+		}
+	}
+	return h
+}
+
+// String renders a compact description, e.g. "Graph(n=4, m=3)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.N(), g.M())
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.adj)))
+	}
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestNewAndCounts(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Graph
+		n, m  int
+	}{
+		{"empty", func() *Graph { return New(0) }, 0, 0},
+		{"isolated", func() *Graph { return New(5) }, 5, 0},
+		{"path4", func() *Graph { return Path(4) }, 4, 3},
+		{"cycle5", func() *Graph { return Cycle(5) }, 5, 5},
+		{"complete4", func() *Graph { return Complete(4) }, 4, 6},
+		{"star6", func() *Graph { return Star(6) }, 6, 5},
+		{"grid3x4", func() *Graph { return Grid(3, 4) }, 12, 17},
+		{"torus3x3", func() *Graph { return Torus(3, 3) }, 9, 18},
+		{"cbt_depth2", func() *Graph { return CompleteBinaryTree(2) }, 7, 6},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			if g.N() != tc.n {
+				t.Errorf("N() = %d, want %d", g.N(), tc.n)
+			}
+			if g.M() != tc.m {
+				t.Errorf("M() = %d, want %d", g.M(), tc.m)
+			}
+		})
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 1)
+	if g.M() != 1 {
+		t.Fatalf("M() = %d after repeated AddEdge, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge {0,2}")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range node")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 1)
+	nbrs := g.Neighbors(2)
+	want := []int{0, 1, 3, 4}
+	if len(nbrs) != len(want) {
+		t.Fatalf("Neighbors(2) = %v, want %v", nbrs, want)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v", nbrs, want)
+		}
+	}
+}
+
+func TestDegreeAndMaxDegree(t *testing.T) {
+	g := Star(7)
+	if got := g.Degree(0); got != 6 {
+		t.Errorf("centre degree = %d, want 6", got)
+	}
+	if got := g.Degree(3); got != 1 {
+		t.Errorf("leaf degree = %d, want 1", got)
+	}
+	if got := g.MaxDegree(); got != 6 {
+		t.Errorf("MaxDegree = %d, want 6", got)
+	}
+	if got := New(0).MaxDegree(); got != 0 {
+		t.Errorf("empty MaxDegree = %d, want 0", got)
+	}
+}
+
+func TestEdgesListing(t *testing.T) {
+	g := Cycle(4)
+	edges := g.Edges()
+	want := [][2]int{{0, 1}, {0, 3}, {1, 2}, {2, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges() = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Path(4)
+	h := g.Clone()
+	h.AddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !g.Equal(Path(4)) {
+		t.Fatal("original changed")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Path(3).Equal(Path(3)) {
+		t.Error("identical paths not Equal")
+	}
+	if Path(3).Equal(Path(4)) {
+		t.Error("different sizes Equal")
+	}
+	a := New(3)
+	a.AddEdge(0, 1)
+	b := New(3)
+	b.AddEdge(1, 2)
+	if a.Equal(b) {
+		t.Error("different edge sets Equal")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	sub, orig := g.InducedSubgraph([]int{0, 1, 2, 4})
+	if sub.N() != 4 {
+		t.Fatalf("sub.N() = %d, want 4", sub.N())
+	}
+	// Edges among {0,1,2,4} in C6: {0,1}, {1,2}. Node 4 is isolated here.
+	if sub.M() != 2 {
+		t.Fatalf("sub.M() = %d, want 2", sub.M())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Fatal("expected edges missing in induced subgraph")
+	}
+	if sub.Degree(3) != 0 {
+		t.Fatal("node 4 should be isolated in the induced subgraph")
+	}
+	for i, v := range []int{0, 1, 2, 4} {
+		if orig[i] != v {
+			t.Fatalf("orig = %v", orig)
+		}
+	}
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate nodes")
+		}
+	}()
+	Path(3).InducedSubgraph([]int{0, 0})
+}
+
+func TestRelabel(t *testing.T) {
+	g := Path(3) // edges {0,1},{1,2}
+	h := g.Relabel([]int{2, 0, 1})
+	if !h.HasEdge(2, 0) || !h.HasEdge(0, 1) {
+		t.Fatalf("relabelled edges wrong: %v", h.Edges())
+	}
+	if h.M() != 2 {
+		t.Fatalf("M changed under relabel: %d", h.M())
+	}
+}
+
+func TestRelabelInvalidPermutationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad permutation")
+		}
+	}()
+	Path(3).Relabel([]int{0, 0, 1})
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(5)
+	dist := g.BFSFrom(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	// Disconnected: two components.
+	h := New(4)
+	h.AddEdge(0, 1)
+	h.AddEdge(2, 3)
+	d := h.BFSFrom(0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Errorf("unreachable distances = %v, want -1", d[2:])
+	}
+}
+
+func TestBall(t *testing.T) {
+	g := Path(7)
+	tests := []struct {
+		v, t int
+		want []int
+	}{
+		{3, 0, []int{3}},
+		{3, 1, []int{3, 2, 4}},
+		{3, 2, []int{3, 2, 4, 1, 5}},
+		{0, 2, []int{0, 1, 2}},
+		{3, 100, []int{3, 2, 4, 1, 5, 0, 6}},
+	}
+	for _, tc := range tests {
+		ball := g.Ball(tc.v, tc.t)
+		if len(ball) != len(tc.want) {
+			t.Errorf("Ball(%d,%d) = %v, want %v", tc.v, tc.t, ball, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if ball[i] != tc.want[i] {
+				t.Errorf("Ball(%d,%d) = %v, want %v", tc.v, tc.t, ball, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	if !Path(5).IsConnected() {
+		t.Error("path not connected")
+	}
+	if !New(0).IsConnected() {
+		t.Error("empty graph should count as connected")
+	}
+	g := New(3)
+	g.AddEdge(0, 1)
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want 2 components", comps)
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 1 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestDiameterAndDistance(t *testing.T) {
+	if d := Cycle(6).Diameter(); d != 3 {
+		t.Errorf("C6 diameter = %d, want 3", d)
+	}
+	if d := Path(5).Diameter(); d != 4 {
+		t.Errorf("P5 diameter = %d, want 4", d)
+	}
+	g := New(2)
+	if d := g.Diameter(); d != -1 {
+		t.Errorf("disconnected diameter = %d, want -1", d)
+	}
+	if d := Cycle(8).Distance(0, 5); d != 3 {
+		t.Errorf("C8 dist(0,5) = %d, want 3", d)
+	}
+}
+
+func TestTreeAndCycleDetection(t *testing.T) {
+	if !Path(6).IsTree() {
+		t.Error("path should be a tree")
+	}
+	if !CompleteBinaryTree(3).IsTree() {
+		t.Error("complete binary tree should be a tree")
+	}
+	if Cycle(4).IsTree() {
+		t.Error("cycle is not a tree")
+	}
+	if Path(6).HasCycle() {
+		t.Error("path has no cycle")
+	}
+	if !Cycle(3).HasCycle() {
+		t.Error("triangle has a cycle")
+	}
+	if !Torus(3, 3).HasCycle() {
+		t.Error("torus has cycles")
+	}
+	disconnectedForest := New(5)
+	disconnectedForest.AddEdge(0, 1)
+	disconnectedForest.AddEdge(2, 3)
+	if disconnectedForest.HasCycle() {
+		t.Error("forest has no cycle")
+	}
+	if disconnectedForest.IsTree() {
+		t.Error("disconnected forest is not a tree")
+	}
+}
+
+func TestRandomGraphConnectedDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 40} {
+		g := Random(n, 0.2, 42)
+		if !g.IsConnected() {
+			t.Errorf("Random(%d) not connected", n)
+		}
+		h := Random(n, 0.2, 42)
+		if !g.Equal(h) {
+			t.Errorf("Random(%d) not deterministic for fixed seed", n)
+		}
+	}
+	a := Random(20, 0.3, 1)
+	b := Random(20, 0.3, 2)
+	if a.Equal(b) {
+		t.Error("different seeds produced identical random graphs (suspicious)")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(3, 3)
+	centre := GridIndex(1, 1, 3)
+	if g.Degree(centre) != 4 {
+		t.Errorf("grid centre degree = %d, want 4", g.Degree(centre))
+	}
+	corner := GridIndex(0, 0, 3)
+	if g.Degree(corner) != 2 {
+		t.Errorf("grid corner degree = %d, want 2", g.Degree(corner))
+	}
+	if g.HasCycle() != true {
+		t.Error("3x3 grid contains 4-cycles")
+	}
+	// Torus is vertex-transitive: all degrees 4.
+	tor := Torus(4, 5)
+	for v := 0; v < tor.N(); v++ {
+		if tor.Degree(v) != 4 {
+			t.Fatalf("torus degree(%d) = %d, want 4", v, tor.Degree(v))
+		}
+	}
+}
+
+func TestCompleteBinaryTreeShape(t *testing.T) {
+	g := CompleteBinaryTree(3)
+	if g.N() != 15 || g.M() != 14 {
+		t.Fatalf("depth-3 CBT: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("root degree = %d, want 2", g.Degree(0))
+	}
+	leaves := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 1 {
+			leaves++
+		}
+	}
+	if leaves != 8 {
+		t.Errorf("leaves = %d, want 8", leaves)
+	}
+	single := CompleteBinaryTree(0)
+	if single.N() != 1 || single.M() != 0 {
+		t.Errorf("depth-0 CBT: n=%d m=%d", single.N(), single.M())
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+// BruteForceIsomorphic is a backtracking label-preserving isomorphism test.
+// It is exponential and intended only as a test oracle for the canonical-code
+// implementation on small graphs.
+func BruteForceIsomorphic(a, b *Labeled) bool {
+	return bruteForce(a, b, -1, -1)
+}
+
+// BruteForceRootedIsomorphic is the rooted variant of BruteForceIsomorphic.
+func BruteForceRootedIsomorphic(a *Labeled, rootA int, b *Labeled, rootB int) bool {
+	return bruteForce(a, b, rootA, rootB)
+}
+
+func bruteForce(a, b *Labeled, rootA, rootB int) bool {
+	n := a.N()
+	if n != b.N() || a.G.M() != b.G.M() {
+		return false
+	}
+	if (rootA == -1) != (rootB == -1) {
+		panic("graph: mixed rooted/unrooted brute-force comparison")
+	}
+	mapping := make([]int, n)
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	if rootA != -1 {
+		if a.Labels[rootA] != b.Labels[rootB] || a.G.Degree(rootA) != b.G.Degree(rootB) {
+			return false
+		}
+		mapping[rootA] = rootB
+		used[rootB] = true
+	}
+	return extendMapping(a, b, mapping, used, 0)
+}
+
+// extendMapping assigns images to nodes v = next, next+1, ... in order,
+// checking label equality and edge consistency against already-mapped nodes.
+func extendMapping(a, b *Labeled, mapping []int, used []bool, next int) bool {
+	n := a.N()
+	for next < n && mapping[next] != -1 {
+		next++
+	}
+	if next == n {
+		return true
+	}
+	for img := 0; img < n; img++ {
+		if used[img] ||
+			a.Labels[next] != b.Labels[img] ||
+			a.G.Degree(next) != b.G.Degree(img) {
+			continue
+		}
+		ok := true
+		for u := 0; u < n && ok; u++ {
+			if mapping[u] == -1 {
+				continue
+			}
+			if a.G.HasEdge(next, u) != b.G.HasEdge(img, mapping[u]) {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		mapping[next] = img
+		used[img] = true
+		if extendMapping(a, b, mapping, used, next+1) {
+			return true
+		}
+		mapping[next] = -1
+		used[img] = false
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// View is the restriction (G, x, Id) |> B(v, t): the labelled graph induced on
+// the radius-t ball around a centre node, with the centre distinguished as
+// Root (index in the view's own node numbering) and the original identifiers
+// carried along. Original identifies the view's node indices back to the
+// parent instance.
+//
+// A View is the entire input of a local algorithm with horizon t. Id-oblivious
+// algorithms see the view without IDs; ID-using algorithms see IDs too.
+type View struct {
+	*Labeled
+	Root     int
+	Radius   int
+	IDs      []int // identifier per view node; nil when extracted from a Labeled
+	Original []int // view index -> node index in the parent graph
+}
+
+// ViewOf extracts the radius-t view of node v from an instance, including
+// identifiers.
+func ViewOf(in *Instance, v, t int) *View {
+	ball := in.G.Ball(v, t)
+	sub, orig := in.Labeled.InducedSubgraph(ball)
+	ids := make([]int, len(orig))
+	for i, w := range orig {
+		ids[i] = in.IDs[w]
+	}
+	return &View{Labeled: sub, Root: 0, Radius: t, IDs: ids, Original: orig}
+}
+
+// ObliviousViewOf extracts the radius-t view of node v from a labelled graph
+// without identifiers. This is the whole input of an Id-oblivious algorithm.
+func ObliviousViewOf(l *Labeled, v, t int) *View {
+	ball := l.G.Ball(v, t)
+	sub, orig := l.InducedSubgraph(ball)
+	return &View{Labeled: sub, Root: 0, Radius: t, Original: orig}
+}
+
+// StripIDs returns a copy of the view with identifiers removed.
+func (v *View) StripIDs() *View {
+	return &View{Labeled: v.Labeled, Root: v.Root, Radius: v.Radius, Original: v.Original}
+}
+
+// ObliviousCode is the canonical code of the view ignoring identifiers: two
+// nodes receive the same ObliviousCode iff no Id-oblivious algorithm with this
+// horizon can distinguish them. (Kept label-only so renaming IDs never changes
+// the code.)
+func (v *View) ObliviousCode() string {
+	return RootedCanonicalCode(v.Labeled, v.Root)
+}
+
+// Code is the canonical code of the view including identifiers: the full
+// information available to an ID-using local algorithm. Identifier values are
+// folded into the node labels, so equal codes mean equal inputs up to the
+// irrelevant node indexing.
+func (v *View) Code() string {
+	if v.IDs == nil {
+		return v.ObliviousCode()
+	}
+	labels := make([]Label, v.N())
+	for i, lab := range v.Labels {
+		labels[i] = lab + "#id=" + strconv.Itoa(v.IDs[i])
+	}
+	withIDs := &Labeled{G: v.G, Labels: labels}
+	return RootedCanonicalCode(withIDs, v.Root)
+}
+
+// RootID returns the identifier of the view's root.
+func (v *View) RootID() int {
+	if v.IDs == nil {
+		panic("graph: RootID on an oblivious view")
+	}
+	return v.IDs[v.Root]
+}
+
+// MaxIDInView returns the largest identifier visible in the view.
+func (v *View) MaxIDInView() int {
+	if v.IDs == nil {
+		panic("graph: MaxIDInView on an oblivious view")
+	}
+	max := -1
+	for _, id := range v.IDs {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// String renders a compact description.
+func (v *View) String() string {
+	kind := "oblivious"
+	if v.IDs != nil {
+		kind = "with-ids"
+	}
+	return fmt.Sprintf("View(%s, n=%d, r=%d, rootLabel=%q)", kind, v.N(), v.Radius, v.Labels[v.Root])
+}
+
+// AllObliviousViews returns the radius-t view of every node of l, without
+// identifiers.
+func AllObliviousViews(l *Labeled, t int) []*View {
+	views := make([]*View, l.N())
+	for v := 0; v < l.N(); v++ {
+		views[v] = ObliviousViewOf(l, v, t)
+	}
+	return views
+}
+
+// ObliviousViewSet returns the set of distinct oblivious view codes occurring
+// in l at radius t.
+func ObliviousViewSet(l *Labeled, t int) map[string]struct{} {
+	set := make(map[string]struct{})
+	for v := 0; v < l.N(); v++ {
+		set[ObliviousViewOf(l, v, t).ObliviousCode()] = struct{}{}
+	}
+	return set
+}
+
+// CoverageFraction reports what fraction of the oblivious radius-t views of
+// host occur in the union of the views of the covers. A fraction of 1 means
+// every local neighbourhood of host already appears in some cover graph —
+// the indistinguishability situation at the core of the paper's lower bounds.
+func CoverageFraction(host *Labeled, covers []*Labeled, t int) float64 {
+	if host.N() == 0 {
+		return 1
+	}
+	available := make(map[string]struct{})
+	for _, c := range covers {
+		for code := range ObliviousViewSet(c, t) {
+			available[code] = struct{}{}
+		}
+	}
+	covered := 0
+	for v := 0; v < host.N(); v++ {
+		if _, ok := available[ObliviousViewOf(host, v, t).ObliviousCode()]; ok {
+			covered++
+		}
+	}
+	return float64(covered) / float64(host.N())
+}

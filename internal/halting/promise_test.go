@@ -1,0 +1,92 @@
+package halting
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/decide"
+	"repro/internal/turing"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestPromiseRInstances(t *testing.T) {
+	registry := append(turing.Library(), turing.Counter(5, '0'))
+	prob, err := PromiseR(
+		[]*turing.Machine{turing.Looper(), turing.Zigzag()},
+		[]*turing.Machine{turing.Counter(5, '0'), turing.BusyBeaverish()},
+		500,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Yes) != 2 || len(prob.No) != 2 {
+		t.Fatalf("suite sizes %d/%d", len(prob.Yes), len(prob.No))
+	}
+	// Counter(5) runtime 6: cycle size 7.
+	if prob.No[0].N() != 7 {
+		t.Errorf("no-instance size %d, want 7", prob.No[0].N())
+	}
+
+	// The ID decider is correct under every unbounded assignment tried.
+	rep := decide.VerifyLD(PromiseRIDDecider(registry), prob.AsSuite(), decide.UnboundedIDs(3), 5)
+	if !rep.OK() {
+		t.Fatalf("promise-R ID decider failed: %s\n%v", rep, rep.Failures)
+	}
+}
+
+func TestPromiseRRejectsBadSuites(t *testing.T) {
+	if _, err := PromiseR([]*turing.Machine{turing.HaltWith('0')}, nil, 100); err == nil {
+		t.Error("halting machine accepted as yes-instance")
+	}
+	if _, err := PromiseR(nil, []*turing.Machine{turing.Looper()}, 100); err == nil {
+		t.Error("non-halting machine accepted as no-instance")
+	}
+}
+
+func TestPromiseRBudgetedObliviousFooled(t *testing.T) {
+	registry := append(turing.Library(), turing.Counter(9, '0'), turing.Counter(60, '0'))
+	prob, err := PromiseR(
+		[]*turing.Machine{turing.Looper()},
+		[]*turing.Machine{turing.Counter(9, '0')}, // runtime 10
+		500,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget below the runtime: the no-instance is accepted — fooled.
+	weak := PromiseRBudgetedOblivious(registry, 5)
+	rep := decide.VerifyLDStar(weak, prob.AsSuite())
+	if rep.NoPassed != 0 {
+		t.Error("budget-5 decider should be fooled by runtime-10 machine")
+	}
+	if rep.YesPassed != rep.YesTotal {
+		t.Error("budget-5 decider should still accept loopers")
+	}
+	// Budget above the runtime: correct on this suite (but there is always a
+	// longer machine — the point of the lower bound).
+	strong := PromiseRBudgetedOblivious(registry, 50)
+	rep = decide.VerifyLDStar(strong, prob.AsSuite())
+	if !rep.OK() {
+		t.Errorf("budget-50 decider should handle runtime-10: %s", rep)
+	}
+	longer, err := PromiseR(nil, []*turing.Machine{turing.Counter(60, '0')}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = decide.VerifyLDStar(strong, longer.AsSuite())
+	if rep.NoPassed != 0 {
+		t.Error("budget-50 decider must be fooled by runtime-61 machine")
+	}
+}
+
+func TestMachineCycleLabelDistinct(t *testing.T) {
+	a := MachineCycleLabel(turing.HaltWith('0'))
+	b := MachineCycleLabel(turing.HaltWith('1'))
+	if a == b {
+		t.Error("different machines share a label")
+	}
+	if PromiseRInstance(turing.Looper(), 5).N() != 5 {
+		t.Error("instance size wrong")
+	}
+}

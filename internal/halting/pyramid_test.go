@@ -1,0 +1,115 @@
+package halting
+
+import (
+	"testing"
+
+	"repro/internal/turing"
+)
+
+// pyramidParams: Counter(2) has runtime 3, table side 4 = 2^2.
+func pyramidParams(limit int) Params {
+	return Params{Machine: turing.Counter(2, '0'), R: 1, MaxSteps: 100, FragmentLimit: limit}
+}
+
+func TestBuildPyramidalG(t *testing.T) {
+	p := pyramidParams(30)
+	asm, err := p.BuildPyramidalG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !asm.Truncated {
+		t.Fatal("expected truncation with limit 30")
+	}
+	// Table pyramid: 4x4 + 2x2 + 1 = 21 nodes; fragments 21 each.
+	want := 21 + len(asm.Fragments)*21
+	if asm.Labeled.N() != want {
+		t.Fatalf("n = %d, want %d", asm.Labeled.N(), want)
+	}
+	if !asm.Labeled.G.IsConnected() {
+		t.Fatal("pyramidal G disconnected")
+	}
+	if err := asm.CheckPyramidal(); err != nil {
+		t.Fatalf("valid pyramidal assembly rejected: %v", err)
+	}
+}
+
+func TestBuildPyramidalGRejectsNonPowerOfTwo(t *testing.T) {
+	// Counter(3): runtime 4, side 5.
+	p := Params{Machine: turing.Counter(3, '0'), R: 1, MaxSteps: 100, FragmentLimit: 5}
+	if _, err := p.BuildPyramidalG(); err == nil {
+		t.Fatal("non-power-of-two side accepted")
+	}
+}
+
+func TestCheckPyramidalRejectsCorruption(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(asm *PyramidalAssembly)
+	}{
+		{"foreign label", func(asm *PyramidalAssembly) {
+			asm.Labeled.Labels[asm.TableApex] = "junk"
+		}},
+		{"table cell content", func(asm *PyramidalAssembly) {
+			p := asm.Params
+			asm.Labeled.Labels[asm.TableBase[1][1]] = p.NodeLabel(turing.Cell{Sym: '1', State: turing.NoHead}, 1, 1)
+		}},
+		{"extra table edge", func(asm *PyramidalAssembly) {
+			// A non-pivot table cell acquires a foreign edge.
+			asm.Labeled.G.AddEdge(asm.TableBase[2][2], asm.FragmentApex[0])
+		}},
+		{"illegal gluing variant", func(asm *PyramidalAssembly) {
+			asm.Fragments[0].Spec = turing.BorderSpec{Left: true, Right: true, Bottom: true}
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			asm, err := pyramidParams(10).BuildPyramidalG()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(asm)
+			if err := asm.CheckPyramidal(); err == nil {
+				t.Error("corrupted pyramidal assembly accepted")
+			}
+		})
+	}
+}
+
+func TestDistanceShrinkage(t *testing.T) {
+	// Use a larger table for a visible effect: Counter(6) runtime 7, side 8.
+	p := Params{Machine: turing.Counter(6, '0'), R: 1, MaxSteps: 100, FragmentLimit: 5}
+	asm, err := p.BuildPyramidalG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridDist, pyrDist := asm.DistanceShrinkage()
+	if gridDist != 14 {
+		t.Fatalf("grid distance = %d, want 14", gridDist)
+	}
+	// Via the pyramid: up 3 layers, down 3 layers = 6.
+	if pyrDist > 6 {
+		t.Fatalf("pyramid distance = %d, want <= 6", pyrDist)
+	}
+	if pyrDist >= gridDist {
+		t.Fatal("pyramid did not shrink distances")
+	}
+}
+
+func TestPyramidalApexes(t *testing.T) {
+	asm, err := pyramidParams(10).BuildPyramidalG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The table apex has degree 4 (its 2x2 children).
+	if d := asm.Labeled.G.Degree(asm.TableApex); d != 4 {
+		t.Errorf("table apex degree = %d, want 4", d)
+	}
+	for i, apex := range asm.FragmentApex {
+		if d := asm.Labeled.G.Degree(apex); d != 4 {
+			t.Errorf("fragment %d apex degree = %d, want 4", i, d)
+		}
+		if asm.Labeled.Labels[apex] != asm.Params.PyrLabel() {
+			t.Errorf("fragment %d apex label wrong", i)
+		}
+	}
+}

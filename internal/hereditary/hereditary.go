@@ -1,0 +1,151 @@
+// Package hereditary reproduces the positive results surveyed in the
+// paper's Section 1.3 (from Fraigniaud, Halldorsson, Korman, OPODIS 2012):
+//
+//   - LD* = LD for hereditary languages (closed under induced subgraphs):
+//     implemented as ObliviousLift, which converts an ID-using decider into
+//     an Id-oblivious one by searching identifier assignments over a finite
+//     canonical domain;
+//   - NLD* = NLD: nondeterminism subsumes identifiers, because certificates
+//     can carry a guessed identifier assignment (GuessIDVerifier).
+//
+// These are reproduced constructively on concrete languages and deciders;
+// the full generality is the cited paper's theorem (see DESIGN.md).
+package hereditary
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/decide"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/oblivious"
+)
+
+// IsHereditary tests (by exhaustion over induced subgraphs) whether a
+// property is closed under induced subgraphs on the given instances: every
+// induced subgraph of a yes-instance must again satisfy the property. It is
+// exponential and meant for validating example languages in tests.
+func IsHereditary(p decide.Property, instances []*graph.Labeled, maxN int) error {
+	for idx, l := range instances {
+		if !p.Contains(l) {
+			return fmt.Errorf("hereditary: instance %d not in %s", idx, p.Name())
+		}
+		if l.N() > maxN {
+			return fmt.Errorf("hereditary: instance %d too large for exhaustive check (n=%d > %d)", idx, l.N(), maxN)
+		}
+		n := l.N()
+		for mask := 1; mask < 1<<n; mask++ {
+			var nodes []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					nodes = append(nodes, v)
+				}
+			}
+			sub, _ := l.InducedSubgraph(nodes)
+			if !p.Contains(sub) {
+				return fmt.Errorf("hereditary: %s not closed: instance %d, subgraph mask %b", p.Name(), idx, mask)
+			}
+		}
+	}
+	return nil
+}
+
+// ObliviousLift converts an ID-using decider into an Id-oblivious one via
+// the paper's simulation A* with a canonical finite identifier domain
+// {0, ..., domainSize-1}: reject a view iff some injective assignment from
+// the domain makes the original decider reject.
+//
+// For hereditary languages decided by deciders whose ID use is
+// comparison-bounded (the OPODIS regime), the finite domain loses nothing;
+// tests demonstrate agreement decider-vs-lift across the suites.
+func ObliviousLift(alg local.Algorithm, domainSize int) local.ObliviousAlgorithm {
+	domain := make([]int, domainSize)
+	for i := range domain {
+		domain[i] = i
+	}
+	return oblivious.NewSimulation(alg, domain)
+}
+
+// GuessIDVerifier realises NLD* ⊇ NLD: given an ID-using NLD-style local
+// verifier, build an Id-oblivious NLD verifier whose certificates carry a
+// guessed identifier for each node. The verifier runs the original algorithm
+// with the guessed identifiers and additionally checks that guessed
+// identifiers are pairwise distinct within its view (local one-to-one-ness,
+// the soundness core of the OPODIS argument).
+func GuessIDVerifier(alg local.Algorithm) decide.NLDVerifier {
+	name := fmt.Sprintf("nld-guess-ids(%s)", alg.Name())
+	return decide.NLDVerifierFunc(name, alg.Horizon(), func(view *graph.View) local.Verdict {
+		n := view.N()
+		ids := make([]int, n)
+		labels := make([]graph.Label, n)
+		seen := make(map[int]struct{}, n)
+		for v := 0; v < n; v++ {
+			lab, cert := decide.SplitCertLabel(view.Labels[v])
+			labels[v] = lab
+			id, err := strconv.Atoi(string(cert))
+			if err != nil || id < 0 {
+				return local.No
+			}
+			if _, dup := seen[id]; dup {
+				return local.No // guessed identifiers collide locally
+			}
+			seen[id] = struct{}{}
+			ids[v] = id
+		}
+		stripped := &graph.View{
+			Labeled:  graph.NewLabeled(view.G, labels),
+			Root:     view.Root,
+			Radius:   view.Radius,
+			IDs:      ids,
+			Original: view.Original,
+		}
+		return alg.Decide(stripped)
+	})
+}
+
+// HonestIDCertificate builds the honest certificate for GuessIDVerifier:
+// the actual identifiers, stringified.
+func HonestIDCertificate(ids []int) decide.Certificate {
+	cert := make(decide.Certificate, len(ids))
+	for i, id := range ids {
+		cert[i] = graph.Label(strconv.Itoa(id))
+	}
+	return cert
+}
+
+// AgreementReport compares an ID-using decider with its oblivious lift
+// across a suite: for each instance, the lift must reach the same global
+// verdict as the decider does under canonical identifiers.
+type AgreementReport struct {
+	Instances int
+	Agreed    int
+	Details   []string
+}
+
+// CompareLift measures decider/lift agreement on the union of a suite's
+// instances.
+func CompareLift(alg local.Algorithm, lift local.ObliviousAlgorithm, s *decide.Suite) *AgreementReport {
+	rep := &AgreementReport{}
+	run := func(l *graph.Labeled, tag string, i int) {
+		rep.Instances++
+		ids := make([]int, l.N())
+		for v := range ids {
+			ids[v] = v
+		}
+		want := local.Run(alg, graph.NewInstance(l, ids)).Accepted
+		got := local.RunOblivious(lift, l).Accepted
+		if want == got {
+			rep.Agreed++
+		} else {
+			rep.Details = append(rep.Details, fmt.Sprintf("%s-instance %d: decider=%v lift=%v", tag, i, want, got))
+		}
+	}
+	for i, l := range s.Yes {
+		run(l, "yes", i)
+	}
+	for i, l := range s.No {
+		run(l, "no", i)
+	}
+	return rep
+}

@@ -1,0 +1,167 @@
+package hereditary
+
+import (
+	"testing"
+
+	"repro/internal/decide"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/props"
+)
+
+func TestIsHereditary(t *testing.T) {
+	// Triangle-freeness and bounded degree are hereditary.
+	instances := []*graph.Labeled{
+		graph.UniformlyLabeled(graph.Cycle(5), ""),
+		graph.UniformlyLabeled(graph.Path(4), ""),
+	}
+	if err := IsHereditary(props.TriangleFree(), instances, 8); err != nil {
+		t.Errorf("triangle-free: %v", err)
+	}
+	if err := IsHereditary(props.BoundedDegree(2), instances, 8); err != nil {
+		t.Errorf("bounded-degree: %v", err)
+	}
+	// Connectivity is NOT hereditary: removing middle nodes of a path
+	// disconnects it.
+	connected := decide.PropertyFunc("connected", func(l *graph.Labeled) bool {
+		return l.G.IsConnected()
+	})
+	if err := IsHereditary(connected, []*graph.Labeled{graph.UniformlyLabeled(graph.Path(4), "")}, 8); err == nil {
+		t.Error("connectivity misclassified as hereditary")
+	}
+	// Size guard.
+	if err := IsHereditary(props.TriangleFree(), []*graph.Labeled{graph.UniformlyLabeled(graph.Cycle(30), "")}, 8); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	// Non-member instance reported.
+	if err := IsHereditary(props.TriangleFree(), []*graph.Labeled{graph.UniformlyLabeled(graph.Cycle(3), "")}, 8); err == nil {
+		t.Error("non-member instance accepted")
+	}
+}
+
+// An ID-using decider for bounded degree (it has no reason to use IDs, but
+// we let it look at them in an inconsequential way to make the lift
+// non-trivial): reject iff degree too high, with a tie-break consult of ID
+// ordering that never changes the verdict.
+func degreeDeciderWithIDs(d int) local.Algorithm {
+	return local.AlgorithmFunc("deg-with-ids", 1, func(view *graph.View) local.Verdict {
+		if view.G.Degree(view.Root) > d {
+			return local.No
+		}
+		_ = view.RootID() // IDs available but irrelevant
+		return local.Yes
+	})
+}
+
+func TestObliviousLiftAgreesOnHereditary(t *testing.T) {
+	suite := &decide.Suite{
+		Name: "degree",
+		Yes: []*graph.Labeled{
+			graph.UniformlyLabeled(graph.Cycle(5), ""),
+			graph.UniformlyLabeled(graph.Path(6), ""),
+		},
+		No: []*graph.Labeled{
+			graph.UniformlyLabeled(graph.Star(5), ""),
+			graph.UniformlyLabeled(graph.Complete(4), ""),
+		},
+	}
+	alg := degreeDeciderWithIDs(2)
+	lift := ObliviousLift(alg, 7)
+	rep := CompareLift(alg, lift, suite)
+	if rep.Agreed != rep.Instances {
+		t.Fatalf("lift disagreement: %v", rep.Details)
+	}
+	// The lift is a genuine LD* decider for the property.
+	starRep := decide.VerifyLDStar(lift, suite)
+	if !starRep.OK() {
+		t.Fatalf("lift failed as LD* decider: %s", starRep)
+	}
+}
+
+func TestObliviousLiftCatchesIDAbuse(t *testing.T) {
+	// A decider that rejects when it sees a large identifier: the lift (the
+	// universal quantification over assignments) must reject everywhere once
+	// the domain contains a large value — showing exactly why the simulation
+	// fails outside the hereditary/(¬B,¬C) regimes.
+	sizeSniffer := local.AlgorithmFunc("size-sniffer", 1, func(view *graph.View) local.Verdict {
+		return local.Verdict(view.MaxIDInView() < 5)
+	})
+	lift := ObliviousLift(sizeSniffer, 8) // domain includes 5, 6, 7
+	l := graph.UniformlyLabeled(graph.Cycle(4), "")
+	if local.RunOblivious(lift, l).Accepted {
+		t.Fatal("lift should reject: some assignment uses an id >= 5")
+	}
+}
+
+func TestGuessIDVerifierNLD(t *testing.T) {
+	// Property: "cycle of length >= 4" decided (for the demo) by an
+	// ID-using verifier that checks degree 2 and, through guessed ids,
+	// rules out triangles: in a triangle every node sees all three ids, so
+	// a node sees a 3-clique in its view. (A contrived but honest ID user.)
+	alg := local.AlgorithmFunc("no-triangle", 1, func(view *graph.View) local.Verdict {
+		if view.G.Degree(view.Root) != 2 {
+			return local.No
+		}
+		nbrs := view.G.Neighbors(view.Root)
+		if view.G.HasEdge(nbrs[0], nbrs[1]) {
+			return local.No
+		}
+		return local.Yes
+	})
+	verifier := GuessIDVerifier(alg)
+
+	yes := graph.UniformlyLabeled(graph.Cycle(5), "c")
+	honest := HonestIDCertificate([]int{4, 1, 3, 0, 2})
+	if out := decide.RunNLD(verifier, yes, honest); !out.Accepted {
+		t.Fatalf("honest certificate rejected: %v", out.Verdicts)
+	}
+
+	no := graph.UniformlyLabeled(graph.Cycle(3), "c")
+	for i, cert := range decide.RandomCertificates(3, 30, []graph.Label{"0", "1", "2", "3", "4"}, 5) {
+		if out := decide.RunNLD(verifier, no, cert); out.Accepted {
+			t.Fatalf("certificate %d fooled the verifier on a triangle", i)
+		}
+	}
+	// Colliding guessed ids are rejected even on yes-instances.
+	colliding := HonestIDCertificate([]int{1, 1, 2, 3, 4})
+	if out := decide.RunNLD(verifier, yes, colliding); out.Accepted {
+		t.Fatal("locally colliding guessed ids accepted")
+	}
+	// Garbage certificates are rejected.
+	garbage := decide.Certificate{"x", "y", "z", "w", "v"}
+	if out := decide.RunNLD(verifier, yes, garbage); out.Accepted {
+		t.Fatal("non-numeric certificate accepted")
+	}
+}
+
+func TestHonestIDCertificate(t *testing.T) {
+	cert := HonestIDCertificate([]int{10, 0})
+	if cert[0] != "10" || cert[1] != "0" {
+		t.Fatalf("certificate = %v", cert)
+	}
+}
+
+func TestCompareLiftReportsDisagreement(t *testing.T) {
+	// An ID-PARITY decider is not liftable: the lift rejects everything
+	// (some assignment has an odd root id), the decider's verdict depends on
+	// the assignment — CompareLift must report disagreements on
+	// yes-instances.
+	parity := local.AlgorithmFunc("parity", 0, func(view *graph.View) local.Verdict {
+		return local.Verdict(view.RootID()%2 == 0)
+	})
+	lift := ObliviousLift(parity, 4)
+	// A single node: under the canonical assignment its id is 0 (even), so
+	// the decider accepts, while the lift finds the odd assignments and
+	// rejects.
+	suite := &decide.Suite{
+		Name: "parity",
+		Yes:  []*graph.Labeled{graph.UniformlyLabeled(graph.New(1), "")},
+	}
+	rep := CompareLift(parity, lift, suite)
+	if rep.Agreed == rep.Instances {
+		t.Fatal("expected disagreement for a non-liftable decider")
+	}
+	if len(rep.Details) == 0 {
+		t.Fatal("details missing")
+	}
+}

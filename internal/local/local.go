@@ -1,0 +1,216 @@
+// Package local implements the LOCAL model of distributed computing as used
+// by the paper: constant-horizon local algorithms evaluated on radius-t
+// views, in both the ID-using and the Id-oblivious variants, plus a
+// goroutine-per-node synchronous message-passing runtime that realises the
+// same semantics operationally (a local algorithm with horizon t corresponds
+// to a distributed algorithm running in t +- 1 synchronous rounds).
+package local
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Verdict is a node's local output in a decision task.
+type Verdict bool
+
+// Local outputs. A property holds globally iff every node says Yes; it fails
+// iff at least one node says No.
+const (
+	Yes Verdict = true
+	No  Verdict = false
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	if v == Yes {
+		return "yes"
+	}
+	return "no"
+}
+
+// Algorithm is an ID-using local algorithm: a function of the radius-t view
+// (G, x, Id) |> B(v, t). Implementations must be deterministic functions of
+// the view. Under assumption (C) they are ordinary computable Go functions;
+// assumption (¬C) is modelled by algorithms that consult an ids.Oracle.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Horizon is the constant local horizon t.
+	Horizon() int
+	// Decide maps the view of a node, identifiers included, to its verdict.
+	Decide(view *graph.View) Verdict
+}
+
+// ObliviousAlgorithm is an Id-oblivious local algorithm: a function of the
+// view without identifiers. Obliviousness is structural — implementations
+// never see IDs, so A(G, x, Id, v) = A(G, x, Id', v) holds by construction.
+type ObliviousAlgorithm interface {
+	Name() string
+	Horizon() int
+	// DecideOblivious maps the ID-free view of a node to its verdict.
+	DecideOblivious(view *graph.View) Verdict
+}
+
+// RandomizedAlgorithm is an Id-oblivious algorithm whose nodes additionally
+// toss coins: each node receives its own pseudo-random stream.
+type RandomizedAlgorithm interface {
+	Name() string
+	Horizon() int
+	DecideRandomized(view *graph.View, rng *rand.Rand) Verdict
+}
+
+// Outcome is the result of running a decision algorithm on an instance.
+type Outcome struct {
+	Verdicts []Verdict
+	// Accepted is true iff every node output Yes.
+	Accepted bool
+}
+
+// reject returns the outcome aggregate.
+func aggregate(verdicts []Verdict) Outcome {
+	accepted := true
+	for _, v := range verdicts {
+		if v == No {
+			accepted = false
+			break
+		}
+	}
+	return Outcome{Verdicts: verdicts, Accepted: accepted}
+}
+
+// Run evaluates an ID-using algorithm on every node of an instance by direct
+// view extraction.
+func Run(alg Algorithm, in *graph.Instance) Outcome {
+	verdicts := make([]Verdict, in.N())
+	for v := 0; v < in.N(); v++ {
+		verdicts[v] = alg.Decide(graph.ViewOf(in, v, alg.Horizon()))
+	}
+	return aggregate(verdicts)
+}
+
+// RunOblivious evaluates an Id-oblivious algorithm on every node of a
+// labelled graph. No identifiers are involved at any point.
+func RunOblivious(alg ObliviousAlgorithm, l *graph.Labeled) Outcome {
+	verdicts := make([]Verdict, l.N())
+	for v := 0; v < l.N(); v++ {
+		verdicts[v] = alg.DecideOblivious(graph.ObliviousViewOf(l, v, alg.Horizon()))
+	}
+	return aggregate(verdicts)
+}
+
+// RunRandomized evaluates a randomized Id-oblivious algorithm once, deriving
+// each node's coin stream deterministically from seed and the node index
+// (independent streams across nodes).
+func RunRandomized(alg RandomizedAlgorithm, l *graph.Labeled, seed int64) Outcome {
+	verdicts := make([]Verdict, l.N())
+	for v := 0; v < l.N(); v++ {
+		rng := rand.New(rand.NewSource(seed ^ (int64(v+1) * 0x9e3779b97f4a7c)))
+		verdicts[v] = alg.DecideRandomized(graph.ObliviousViewOf(l, v, alg.Horizon()), rng)
+	}
+	return aggregate(verdicts)
+}
+
+// EstimateAcceptance runs a randomized algorithm over `trials` independent
+// seeds and returns the fraction of runs in which the instance was accepted
+// (all nodes Yes).
+func EstimateAcceptance(alg RandomizedAlgorithm, l *graph.Labeled, trials int, seed int64) float64 {
+	if trials < 1 {
+		panic("local: trials must be positive")
+	}
+	accepted := 0
+	for i := 0; i < trials; i++ {
+		if RunRandomized(alg, l, seed+int64(i)*2654435761).Accepted {
+			accepted++
+		}
+	}
+	return float64(accepted) / float64(trials)
+}
+
+// AsOblivious adapts an ObliviousAlgorithm to the Algorithm interface by
+// stripping identifiers before deciding. This witnesses LD* ⊆ LD.
+func AsOblivious(alg ObliviousAlgorithm) Algorithm {
+	return obliviousAdapter{alg: alg}
+}
+
+type obliviousAdapter struct {
+	alg ObliviousAlgorithm
+}
+
+func (a obliviousAdapter) Name() string { return a.alg.Name() + "/as-ld" }
+func (a obliviousAdapter) Horizon() int { return a.alg.Horizon() }
+func (a obliviousAdapter) Decide(view *graph.View) Verdict {
+	return a.alg.DecideOblivious(view.StripIDs())
+}
+
+// Func adapters ---------------------------------------------------------------
+
+// AlgorithmFunc builds an Algorithm from a function.
+func AlgorithmFunc(name string, horizon int, decide func(view *graph.View) Verdict) Algorithm {
+	return funcAlgorithm{name: name, horizon: horizon, decide: decide}
+}
+
+type funcAlgorithm struct {
+	name    string
+	horizon int
+	decide  func(view *graph.View) Verdict
+}
+
+func (f funcAlgorithm) Name() string                    { return f.name }
+func (f funcAlgorithm) Horizon() int                    { return f.horizon }
+func (f funcAlgorithm) Decide(view *graph.View) Verdict { return f.decide(view) }
+
+// ObliviousFunc builds an ObliviousAlgorithm from a function.
+func ObliviousFunc(name string, horizon int, decide func(view *graph.View) Verdict) ObliviousAlgorithm {
+	return funcOblivious{name: name, horizon: horizon, decide: decide}
+}
+
+type funcOblivious struct {
+	name    string
+	horizon int
+	decide  func(view *graph.View) Verdict
+}
+
+func (f funcOblivious) Name() string                             { return f.name }
+func (f funcOblivious) Horizon() int                             { return f.horizon }
+func (f funcOblivious) DecideOblivious(view *graph.View) Verdict { return f.decide(view) }
+
+// RandomizedFunc builds a RandomizedAlgorithm from a function.
+func RandomizedFunc(name string, horizon int, decide func(view *graph.View, rng *rand.Rand) Verdict) RandomizedAlgorithm {
+	return funcRandomized{name: name, horizon: horizon, decide: decide}
+}
+
+type funcRandomized struct {
+	name    string
+	horizon int
+	decide  func(view *graph.View, rng *rand.Rand) Verdict
+}
+
+func (f funcRandomized) Name() string { return f.name }
+func (f funcRandomized) Horizon() int { return f.horizon }
+func (f funcRandomized) DecideRandomized(view *graph.View, rng *rand.Rand) Verdict {
+	return f.decide(view, rng)
+}
+
+// CheckOblivious verifies empirically that an ID-using algorithm is
+// Id-oblivious on a given labelled graph: its verdict vector must not change
+// across the provided identifier assignments. It returns an error naming the
+// offending node on the first discrepancy.
+func CheckOblivious(alg Algorithm, l *graph.Labeled, assignments [][]int) error {
+	if len(assignments) < 2 {
+		return fmt.Errorf("local: need at least two assignments to compare")
+	}
+	base := Run(alg, graph.NewInstance(l, assignments[0]))
+	for i, ids := range assignments[1:] {
+		out := Run(alg, graph.NewInstance(l, ids))
+		for v := range out.Verdicts {
+			if out.Verdicts[v] != base.Verdicts[v] {
+				return fmt.Errorf("local: %s is ID-sensitive: node %d flips %s -> %s under assignment %d",
+					alg.Name(), v, base.Verdicts[v], out.Verdicts[v], i+1)
+			}
+		}
+	}
+	return nil
+}

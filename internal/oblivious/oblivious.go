@@ -1,0 +1,300 @@
+// Package oblivious implements the identifier-elimination side of the paper:
+//
+//   - the generic Id-oblivious simulation A* of Section 1 ("Id-oblivious
+//     simulation"), which witnesses LD* = LD under (¬B, ¬C): A* outputs no
+//     on a view iff SOME local identifier assignment makes the original
+//     algorithm output no;
+//   - the OI (order-invariant) and PO (port-numbering + orientation) models
+//     of Section 1.3, with the classical construction-task separations
+//     (edge orientation and 2-colouring a 1-regular graph are trivial in
+//     LOCAL yet impossible Id-obliviously).
+package oblivious
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// Simulation builds the paper's A* from an ID-using algorithm: on a view V,
+// it searches local identifier assignments Id' over the given value domain
+// and outputs No iff some assignment makes the original algorithm reject.
+//
+// Under (¬B, ¬C) the search ranges over all of N and A* exactly decides the
+// same property. A computable reproduction must fix a finite domain; this is
+// precisely the gap the paper's Theorem 1 lives in. The domain is therefore
+// explicit, and Exhaustive reports whether the search is complete for
+// algorithms whose behaviour depends only on comparisons within the domain.
+type Simulation struct {
+	Alg local.Algorithm
+	// Domain is the candidate identifier value set (must be large enough for
+	// the views: at least as many values as view nodes).
+	Domain []int
+	// MaxAssignments caps the search; exceeding it panics rather than
+	// silently accepting (no silent caps).
+	MaxAssignments int
+}
+
+// NewSimulation constructs the simulation with a default assignment cap.
+func NewSimulation(alg local.Algorithm, domain []int) *Simulation {
+	return &Simulation{Alg: alg, Domain: domain, MaxAssignments: 1 << 22}
+}
+
+// Name implements local.ObliviousAlgorithm.
+func (s *Simulation) Name() string {
+	return fmt.Sprintf("A*(%s,|domain|=%d)", s.Alg.Name(), len(s.Domain))
+}
+
+// Horizon implements local.ObliviousAlgorithm.
+func (s *Simulation) Horizon() int { return s.Alg.Horizon() }
+
+// DecideOblivious implements local.ObliviousAlgorithm: reject iff some local
+// assignment from the domain makes the underlying algorithm reject.
+func (s *Simulation) DecideOblivious(view *graph.View) local.Verdict {
+	n := view.N()
+	if len(s.Domain) < n {
+		panic(fmt.Sprintf("oblivious: domain of %d values for a %d-node view", len(s.Domain), n))
+	}
+	ids := make([]int, n)
+	used := make([]bool, len(s.Domain))
+	count := 0
+	var rejectFound bool
+	var rec func(i int)
+	rec = func(i int) {
+		if rejectFound {
+			return
+		}
+		if i == n {
+			count++
+			if count > s.MaxAssignments {
+				panic("oblivious: assignment search exceeded MaxAssignments")
+			}
+			withIDs := &graph.View{
+				Labeled:  view.Labeled,
+				Root:     view.Root,
+				Radius:   view.Radius,
+				IDs:      append([]int(nil), ids...),
+				Original: view.Original,
+			}
+			if s.Alg.Decide(withIDs) == local.No {
+				rejectFound = true
+			}
+			return
+		}
+		for d, val := range s.Domain {
+			if used[d] {
+				continue
+			}
+			used[d] = true
+			ids[i] = val
+			rec(i + 1)
+			used[d] = false
+			if rejectFound {
+				return
+			}
+		}
+	}
+	rec(0)
+	if rejectFound {
+		return local.No
+	}
+	return local.Yes
+}
+
+var _ local.ObliviousAlgorithm = (*Simulation)(nil)
+
+// OI model ----------------------------------------------------------------------
+
+// OIAlgorithm is an order-invariant local algorithm: its verdict may depend
+// on the RELATIVE ORDER of the identifiers in the view but not their values.
+type OIAlgorithm interface {
+	Name() string
+	Horizon() int
+	// DecideOI receives the view and the rank of each view node's
+	// identifier (0 = smallest).
+	DecideOI(view *graph.View, rank []int) local.Verdict
+}
+
+// OIFunc adapts a function to an OIAlgorithm.
+func OIFunc(name string, horizon int, decide func(view *graph.View, rank []int) local.Verdict) OIAlgorithm {
+	return funcOI{name: name, horizon: horizon, decide: decide}
+}
+
+type funcOI struct {
+	name    string
+	horizon int
+	decide  func(view *graph.View, rank []int) local.Verdict
+}
+
+func (f funcOI) Name() string { return f.name }
+func (f funcOI) Horizon() int { return f.horizon }
+func (f funcOI) DecideOI(view *graph.View, rank []int) local.Verdict {
+	return f.decide(view, rank)
+}
+
+// AsAlgorithm runs an OI algorithm in the full LOCAL model by computing the
+// identifier ranks: OI is intermediate between Id-oblivious and LOCAL.
+func AsAlgorithm(alg OIAlgorithm) local.Algorithm {
+	return local.AlgorithmFunc(alg.Name()+"/oi", alg.Horizon(), func(view *graph.View) local.Verdict {
+		return alg.DecideOI(view, Ranks(view.IDs))
+	})
+}
+
+// Ranks converts identifier values to dense ranks (0 = smallest).
+func Ranks(ids []int) []int {
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ids[order[a]] < ids[order[b]] })
+	rank := make([]int, len(ids))
+	for r, i := range order {
+		rank[i] = r
+	}
+	return rank
+}
+
+// CheckOrderInvariance verifies empirically that an ID-using algorithm is
+// order-invariant on a labelled graph: its verdicts must agree across
+// order-isomorphic assignments.
+func CheckOrderInvariance(alg local.Algorithm, l *graph.Labeled, assignments [][]int) error {
+	if len(assignments) < 2 {
+		return fmt.Errorf("oblivious: need two assignments")
+	}
+	baseRank := Ranks(assignments[0])
+	base := local.Run(alg, graph.NewInstance(l, assignments[0]))
+	for k, ids := range assignments[1:] {
+		r := Ranks(ids)
+		same := true
+		for i := range r {
+			if r[i] != baseRank[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue // only order-isomorphic assignments constrain OI
+		}
+		out := local.Run(alg, graph.NewInstance(l, ids))
+		for v := range out.Verdicts {
+			if out.Verdicts[v] != base.Verdicts[v] {
+				return fmt.Errorf("oblivious: %s not order-invariant at node %d (assignment %d)", alg.Name(), v, k+1)
+			}
+		}
+	}
+	return nil
+}
+
+// Construction tasks (Section 1.3 separations) ------------------------------------
+
+// OutputAlgorithm is a local CONSTRUCTION algorithm: each node emits a label
+// rather than a verdict.
+type OutputAlgorithm interface {
+	Name() string
+	Horizon() int
+	Output(view *graph.View) string
+}
+
+// OutputFunc adapts a function.
+func OutputFunc(name string, horizon int, out func(view *graph.View) string) OutputAlgorithm {
+	return funcOutput{name: name, horizon: horizon, out: out}
+}
+
+type funcOutput struct {
+	name    string
+	horizon int
+	out     func(view *graph.View) string
+}
+
+func (f funcOutput) Name() string                   { return f.name }
+func (f funcOutput) Horizon() int                   { return f.horizon }
+func (f funcOutput) Output(view *graph.View) string { return f.out(view) }
+
+// RunOutputs evaluates a construction algorithm on every node.
+func RunOutputs(alg OutputAlgorithm, in *graph.Instance) []string {
+	out := make([]string, in.N())
+	for v := 0; v < in.N(); v++ {
+		out[v] = alg.Output(graph.ViewOf(in, v, alg.Horizon()))
+	}
+	return out
+}
+
+// OrientEdgesWithIDs is the LOCAL-model edge orientation task: each node
+// reports, per incident edge, whether it is the edge's source — orient
+// toward the larger identifier. Trivial with identifiers.
+func OrientEdgesWithIDs() OutputAlgorithm {
+	return OutputFunc("orient-by-id", 1, func(view *graph.View) string {
+		dirs := ""
+		for _, u := range view.G.Neighbors(view.Root) {
+			if view.IDs[view.Root] > view.IDs[u] {
+				dirs += ">"
+			} else {
+				dirs += "<"
+			}
+		}
+		return dirs
+	})
+}
+
+// ObliviousOutputsIdentical demonstrates the impossibility of Id-oblivious
+// construction on transitive instances: on a uniformly labelled graph where
+// all radius-t views share one canonical code, every Id-oblivious algorithm
+// must emit the same output at every node. It returns that common view code
+// or an error if views differ (in which case the argument does not apply).
+func ObliviousOutputsIdentical(l *graph.Labeled, horizon int) (string, error) {
+	set := graph.ObliviousViewSet(l, horizon)
+	if len(set) != 1 {
+		return "", fmt.Errorf("oblivious: %d distinct views; impossibility argument needs 1", len(set))
+	}
+	for code := range set {
+		return code, nil
+	}
+	return "", fmt.Errorf("oblivious: empty graph")
+}
+
+// ValidOrientation checks that per-node incident-edge direction reports form
+// a consistent antisymmetric orientation (every edge directed exactly one
+// way). Outputs follow the format of OrientEdgesWithIDs: the i-th character
+// of node v's output orients the edge to its i-th neighbour.
+func ValidOrientation(l *graph.Labeled, outputs []string) error {
+	for v := 0; v < l.N(); v++ {
+		nbrs := l.G.Neighbors(v)
+		if len(outputs[v]) != len(nbrs) {
+			return fmt.Errorf("oblivious: node %d reports %d directions for %d edges", v, len(outputs[v]), len(nbrs))
+		}
+		for i, u := range nbrs {
+			// Find v in u's neighbour list.
+			j := -1
+			for k, w := range l.G.Neighbors(u) {
+				if w == v {
+					j = k
+				}
+			}
+			if j == -1 {
+				return fmt.Errorf("oblivious: adjacency asymmetry")
+			}
+			if outputs[v][i] == outputs[u][j] {
+				return fmt.Errorf("oblivious: edge {%d,%d} oriented both ways or neither", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// TwoColoringWithIDs 2-colours a 1-regular graph (a perfect matching): each
+// node compares its identifier with its single neighbour's. Trivial in
+// LOCAL, impossible Id-obliviously (both endpoints have identical views).
+func TwoColoringWithIDs() OutputAlgorithm {
+	return OutputFunc("2col-by-id", 1, func(view *graph.View) string {
+		nbrs := view.G.Neighbors(view.Root)
+		if len(nbrs) != 1 {
+			return "invalid"
+		}
+		if view.IDs[view.Root] < view.IDs[nbrs[0]] {
+			return "black"
+		}
+		return "white"
+	})
+}

@@ -1,0 +1,220 @@
+package oblivious
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+)
+
+// sizeThresholdDecider rejects at a node iff it sees an identifier >= bound:
+// the archetypal ID-using decider (it infers graph size from ID magnitude).
+func sizeThresholdDecider(bound int) local.Algorithm {
+	return local.AlgorithmFunc("id-threshold", 1, func(view *graph.View) local.Verdict {
+		return local.Verdict(view.MaxIDInView() < bound)
+	})
+}
+
+func TestSimulationRejectsIffSomeAssignmentRejects(t *testing.T) {
+	alg := sizeThresholdDecider(5)
+	domain := []int{0, 1, 2, 3, 4, 5, 6}
+	sim := NewSimulation(alg, domain)
+	l := graph.UniformlyLabeled(graph.Path(3), "")
+	// Some assignment from the domain includes a value >= 5, so A* rejects
+	// every view: A* decides the property "no assignment can reject", which
+	// for this decider is empty. The point: A* is the universal
+	// quantification over assignments, mirroring the paper's definition.
+	out := local.RunOblivious(sim, l)
+	if out.Accepted {
+		t.Fatal("A* should reject: assignments with id >= 5 exist in the domain")
+	}
+	// With a domain entirely below the bound, no assignment rejects.
+	small := NewSimulation(alg, []int{0, 1, 2, 3})
+	if out := local.RunOblivious(small, l); !out.Accepted {
+		t.Fatal("A* should accept when no domain assignment can reject")
+	}
+}
+
+func TestSimulationMatchesPaperSemantics(t *testing.T) {
+	// The paper: A* outputs no on v iff there is a local assignment Id'
+	// making A output no. Test with an algorithm rejecting on a specific
+	// pattern: root id even and some neighbour id < root id.
+	alg := local.AlgorithmFunc("picky", 1, func(view *graph.View) local.Verdict {
+		rootID := view.RootID()
+		if rootID%2 != 0 {
+			return local.Yes
+		}
+		for i, id := range view.IDs {
+			if i != view.Root && id < rootID {
+				return local.No
+			}
+		}
+		return local.Yes
+	})
+	sim := NewSimulation(alg, []int{0, 1, 2})
+	l := graph.UniformlyLabeled(graph.Path(2), "")
+	// View of either endpoint: 2 nodes. Assignment (2,0): root=2 even,
+	// neighbour 0 < 2: rejects. So A* rejects.
+	if out := local.RunOblivious(sim, l); out.Accepted {
+		t.Fatal("A* missed a rejecting assignment")
+	}
+	// Isolated node: only 1-node assignments; root even with no neighbours
+	// never rejects.
+	single := graph.UniformlyLabeled(graph.New(1), "")
+	if out := local.RunOblivious(sim, single); !out.Accepted {
+		t.Fatal("A* rejected with no rejecting assignment")
+	}
+}
+
+func TestSimulationDomainTooSmallPanics(t *testing.T) {
+	sim := NewSimulation(sizeThresholdDecider(5), []int{0})
+	l := graph.UniformlyLabeled(graph.Path(3), "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undersized domain")
+		}
+	}()
+	local.RunOblivious(sim, l)
+}
+
+func TestSimulationCapPanics(t *testing.T) {
+	sim := NewSimulation(sizeThresholdDecider(100), []int{0, 1, 2, 3, 4, 5, 6, 7})
+	sim.MaxAssignments = 10
+	l := graph.UniformlyLabeled(graph.Star(5), "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic at the assignment cap")
+		}
+	}()
+	local.RunOblivious(sim, l)
+}
+
+func TestSimulationIsObliviousByConstruction(t *testing.T) {
+	sim := NewSimulation(sizeThresholdDecider(4), []int{0, 1, 2, 3})
+	asAlg := local.AsOblivious(sim)
+	l := graph.UniformlyLabeled(graph.Cycle(5), "")
+	if err := local.CheckOblivious(asAlg, l, ids.Renumberings(5, 4, nil, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sim.Name(), "A*") {
+		t.Error("name should advertise the simulation")
+	}
+	if sim.Horizon() != 1 {
+		t.Error("horizon should match the wrapped algorithm")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	r := Ranks([]int{30, 10, 20})
+	want := []int{2, 0, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+	if len(Ranks(nil)) != 0 {
+		t.Error("empty ranks should be empty")
+	}
+}
+
+func TestOIAlgorithm(t *testing.T) {
+	// OI decider: accept iff the root holds the locally largest identifier
+	// or is not a local maximum — i.e. compute something order-only.
+	oi := OIFunc("local-max", 1, func(view *graph.View, rank []int) local.Verdict {
+		return local.Verdict(rank[view.Root] == len(rank)-1 || view.G.Degree(view.Root) > 0)
+	})
+	alg := AsAlgorithm(oi)
+	l := graph.UniformlyLabeled(graph.Path(4), "")
+	// Order-isomorphic assignments must give identical verdicts.
+	a := local.Run(alg, graph.NewInstance(l, []int{1, 5, 3, 7}))
+	b := local.Run(alg, graph.NewInstance(l, []int{10, 50, 30, 70}))
+	for v := range a.Verdicts {
+		if a.Verdicts[v] != b.Verdicts[v] {
+			t.Fatal("OI algorithm distinguished order-isomorphic assignments")
+		}
+	}
+	if err := CheckOrderInvariance(alg, l, [][]int{{1, 5, 3, 7}, {10, 50, 30, 70}, {2, 9, 4, 11}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckOrderInvarianceCatchesValueUse(t *testing.T) {
+	// A decider using ID VALUES (not order): flags under order-isomorphic
+	// renumbering.
+	alg := sizeThresholdDecider(40)
+	l := graph.UniformlyLabeled(graph.Path(3), "")
+	err := CheckOrderInvariance(alg, l, [][]int{{1, 2, 3}, {10, 20, 30}, {100, 200, 300}})
+	if err == nil {
+		t.Fatal("value-dependent decider not flagged")
+	}
+	if err := CheckOrderInvariance(alg, l, [][]int{{1, 2, 3}}); err == nil {
+		t.Fatal("single assignment should error")
+	}
+}
+
+func TestOrientEdgesWithIDs(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.Cycle(5), "")
+	in := graph.NewInstance(l, []int{3, 1, 4, 0, 2})
+	outputs := RunOutputs(OrientEdgesWithIDs(), in)
+	if err := ValidOrientation(l, outputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObliviousOrientationImpossible(t *testing.T) {
+	// On a uniformly labelled cycle every node has the same view, so every
+	// Id-oblivious algorithm outputs the same direction string everywhere —
+	// which is never a valid antisymmetric orientation.
+	l := graph.UniformlyLabeled(graph.Cycle(6), "")
+	code, err := ObliviousOutputsIdentical(l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == "" {
+		t.Fatal("empty view code")
+	}
+	// Constant outputs fail validation for every possible constant.
+	for _, constant := range []string{"<<", "><", "<>", ">>"} {
+		outputs := make([]string, l.N())
+		for i := range outputs {
+			outputs[i] = constant
+		}
+		if err := ValidOrientation(l, outputs); err == nil {
+			t.Fatalf("constant orientation %q validated; impossibility argument broken", constant)
+		}
+	}
+}
+
+func TestTwoColoringWithIDs(t *testing.T) {
+	// A perfect matching on 4 nodes: edges {0,1}, {2,3}.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	l := graph.UniformlyLabeled(g, "")
+	in := graph.NewInstance(l, []int{5, 2, 0, 9})
+	outputs := RunOutputs(TwoColoringWithIDs(), in)
+	if outputs[0] == outputs[1] || outputs[2] == outputs[3] {
+		t.Fatalf("matching endpoints share a colour: %v", outputs)
+	}
+	// Id-obliviously impossible: both endpoints of an edge have identical
+	// views.
+	if _, err := ObliviousOutputsIdentical(l, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Degree != 1 is flagged.
+	star := graph.UniformlyLabeled(graph.Star(3), "")
+	bad := RunOutputs(TwoColoringWithIDs(), graph.NewInstance(star, []int{0, 1, 2}))
+	if bad[0] != "invalid" {
+		t.Error("centre of star should be invalid for 1-regular task")
+	}
+}
+
+func TestObliviousOutputsIdenticalErrors(t *testing.T) {
+	// A path has distinct views (endpoints vs middle).
+	l := graph.UniformlyLabeled(graph.Path(4), "")
+	if _, err := ObliviousOutputsIdentical(l, 1); err == nil {
+		t.Fatal("path should not be view-transitive")
+	}
+}

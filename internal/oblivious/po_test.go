@@ -1,0 +1,205 @@
+package oblivious
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+func TestNewPortNumberingConsistent(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"cycle":  graph.Cycle(6),
+		"star":   graph.Star(5),
+		"grid":   graph.Grid(3, 3),
+		"random": graph.Random(12, 0.3, 1),
+	} {
+		pn := NewPortNumbering(g)
+		if err := pn.CheckConsistent(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if pn.Degree(v) != g.Degree(v) {
+				t.Errorf("%s: node %d has %d ports for degree %d", name, v, pn.Degree(v), g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestShufflePortsStaysConsistent(t *testing.T) {
+	g := graph.Random(10, 0.4, 2)
+	pn := NewPortNumbering(g)
+	for seed := int64(0); seed < 5; seed++ {
+		sh := pn.ShufflePorts(seed)
+		if err := sh.CheckConsistent(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Same neighbour sets, possibly different order.
+		for v := 0; v < g.N(); v++ {
+			a, b := pn.sortedPorts(v), sh.sortedPorts(v)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d: node %d neighbour set changed", seed, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReverseOrientations(t *testing.T) {
+	g := graph.Cycle(5)
+	pn := NewPortNumbering(g)
+	rev := pn.ReverseOrientations()
+	if err := rev.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		for i := range pn.outward[v] {
+			if pn.outward[v][i] == rev.outward[v][i] {
+				t.Fatal("orientation not flipped")
+			}
+		}
+	}
+}
+
+func TestPOViewEncodeDistinguishesOrientation(t *testing.T) {
+	g := graph.Path(2)
+	l := graph.UniformlyLabeled(g, "x")
+	pn := NewPortNumbering(g)
+	a := BuildPOView(l, pn, 0, 1).Encode()
+	b := BuildPOView(l, pn, 1, 1).Encode()
+	// Node 0 sees an outward edge, node 1 an inward edge.
+	if a == b {
+		t.Fatal("orientation should distinguish the endpoints")
+	}
+}
+
+func TestPOUnfoldingIgnoresCycles(t *testing.T) {
+	// A triangle and a long path have the same depth-1 PO unfolding shape
+	// when ports/orientations line up: the unfolding is a TREE, so cycles
+	// are invisible. Here we check unfolding depth: a depth-2 view of a
+	// triangle keeps expanding (revisiting nodes without noticing).
+	g := graph.Cycle(3)
+	l := graph.UniformlyLabeled(g, "c")
+	pn := NewPortNumbering(g)
+	view := BuildPOView(l, pn, 0, 2)
+	// Root has 2 children; each child has 2 children (one of which unfolds
+	// back towards the root as a fresh tree node).
+	if len(view.Children) != 2 {
+		t.Fatalf("root children = %d", len(view.Children))
+	}
+	for _, c := range view.Children {
+		if c.Subtree == nil || len(c.Subtree.Children) != 2 {
+			t.Fatal("depth-2 unfolding truncated early")
+		}
+	}
+}
+
+func TestOrientEdgesPO(t *testing.T) {
+	g := graph.Cycle(6)
+	l := graph.UniformlyLabeled(g, "")
+	pn := NewPortNumbering(g)
+	outputs := RunPOOutputs(OrientEdgesPO(), l, pn)
+	// Convert to the ValidOrientation format: outputs follow port order,
+	// which NewPortNumbering aligns with sorted adjacency = Neighbors order.
+	if err := ValidOrientation(l, outputs); err != nil {
+		t.Fatalf("PO orientation invalid: %v", err)
+	}
+}
+
+func TestTwoColoringPO(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	l := graph.UniformlyLabeled(g, "")
+	pn := NewPortNumbering(g)
+	outputs := RunPOOutputs(TwoColoringPO(), l, pn)
+	if outputs[0] == outputs[1] || outputs[2] == outputs[3] {
+		t.Fatalf("PO 2-colouring failed: %v", outputs)
+	}
+	star := graph.UniformlyLabeled(graph.Star(3), "")
+	bad := RunPOOutputs(TwoColoringPO(), star, NewPortNumbering(star.G))
+	if bad[0] != "invalid" {
+		t.Error("non-1-regular node should be invalid")
+	}
+}
+
+func TestConsistentCycleSymmetry(t *testing.T) {
+	// Under the consistent orientation all PO views coincide — for cycles of
+	// ANY length, so PO cannot separate the promise-problem cycle pair.
+	for _, n := range []int{5, 8, 13} {
+		g, pn := ConsistentCycleOrientation(n)
+		if err := pn.CheckConsistent(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l := graph.UniformlyLabeled(g, "c")
+		if !POViewsAllEqual(l, pn, 2) {
+			t.Fatalf("n=%d: consistent cycle views differ", n)
+		}
+	}
+	// Across lengths: the views are the SAME string, so a PO decider treats
+	// C5 and C13 alike.
+	g5, pn5 := ConsistentCycleOrientation(5)
+	g13, pn13 := ConsistentCycleOrientation(13)
+	v5 := BuildPOView(graph.UniformlyLabeled(g5, "c"), pn5, 0, 2).Encode()
+	v13 := BuildPOView(graph.UniformlyLabeled(g13, "c"), pn13, 0, 2).Encode()
+	if v5 != v13 {
+		t.Fatal("consistent cycles of different lengths should have equal PO views")
+	}
+}
+
+func TestRunPODecision(t *testing.T) {
+	// A PO decider: accept iff I have an outgoing edge (every node of a
+	// consistently oriented cycle does; sinks of other orientations do not).
+	hasOut := POFunc("has-outgoing", 0, func(view *POTree) local.Verdict {
+		for _, c := range view.Children {
+			if c.Outward {
+				return local.Yes
+			}
+		}
+		return local.No
+	})
+	g, pn := ConsistentCycleOrientation(6)
+	l := graph.UniformlyLabeled(g, "")
+	if out := RunPO(hasOut, l, pn); !out.Accepted {
+		t.Fatal("consistent cycle has no sink")
+	}
+	// The min-to-max orientation of a path has a sink at the last node.
+	path := graph.UniformlyLabeled(graph.Path(4), "")
+	if out := RunPO(hasOut, path, NewPortNumbering(path.G)); out.Accepted {
+		t.Fatal("path under min->max orientation has a sink")
+	}
+}
+
+func TestPOAlgorithmMustSurvivePortShuffles(t *testing.T) {
+	// A decider that depends on port ORDER (accept iff port 0 is outward) is
+	// not a legitimate PO algorithm: shuffling ports changes its verdicts.
+	fragile := POFunc("port0-out", 0, func(view *POTree) local.Verdict {
+		return local.Verdict(len(view.Children) > 0 && view.Children[0].Outward)
+	})
+	g := graph.Cycle(6)
+	l := graph.UniformlyLabeled(g, "")
+	pn := NewPortNumbering(g)
+	base := RunPO(fragile, l, pn)
+	changed := false
+	for seed := int64(0); seed < 10 && !changed; seed++ {
+		out := RunPO(fragile, l, pn.ShufflePorts(seed))
+		for v := range out.Verdicts {
+			if out.Verdicts[v] != base.Verdicts[v] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("port shuffling never changed the fragile decider; test ineffective")
+	}
+}
+
+func TestConsistentCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ConsistentCycleOrientation(2)
+}

@@ -1,0 +1,252 @@
+// Package props provides the classic labelled-graph properties the paper
+// uses as running examples (Section 1.2), each paired with its natural
+// Id-oblivious local verifier: proper 3-colouring, maximal independent set,
+// forests (acyclicity), consistent parent pointers, and leader uniqueness.
+// These populate the LD* side of the experiments: properties where
+// identifiers are provably unnecessary.
+package props
+
+import (
+	"strconv"
+
+	"repro/internal/decide"
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// ThreeColoring is the labelled graph property "x is a proper 3-colouring
+// of G" with colour labels "0", "1", "2".
+func ThreeColoring() decide.Property {
+	return decide.PropertyFunc("proper-3-colouring", func(l *graph.Labeled) bool {
+		for v := 0; v < l.N(); v++ {
+			if !validColor(l.Labels[v]) {
+				return false
+			}
+			for _, u := range l.G.Neighbors(v) {
+				if l.Labels[u] == l.Labels[v] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func validColor(lab graph.Label) bool {
+	return lab == "0" || lab == "1" || lab == "2"
+}
+
+// ThreeColoringVerifier is the horizon-1 Id-oblivious verifier for
+// ThreeColoring: check your colour is legal and differs from every
+// neighbour's.
+func ThreeColoringVerifier() local.ObliviousAlgorithm {
+	return local.ObliviousFunc("3col-verifier", 1, func(view *graph.View) local.Verdict {
+		if !validColor(view.Labels[view.Root]) {
+			return local.No
+		}
+		for _, u := range view.G.Neighbors(view.Root) {
+			if view.Labels[u] == view.Labels[view.Root] {
+				return local.No
+			}
+		}
+		return local.Yes
+	})
+}
+
+// MIS is the property "the nodes labelled 1 form a maximal independent set".
+func MIS() decide.Property {
+	return decide.PropertyFunc("maximal-independent-set", func(l *graph.Labeled) bool {
+		for v := 0; v < l.N(); v++ {
+			in := l.Labels[v] == "1"
+			anyNbrIn := false
+			for _, u := range l.G.Neighbors(v) {
+				if l.Labels[u] == "1" {
+					anyNbrIn = true
+				}
+			}
+			if in && anyNbrIn {
+				return false // not independent
+			}
+			if !in && !anyNbrIn {
+				return false // not maximal
+			}
+			if l.Labels[v] != "0" && l.Labels[v] != "1" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// MISVerifier is the horizon-1 Id-oblivious verifier for MIS.
+func MISVerifier() local.ObliviousAlgorithm {
+	return local.ObliviousFunc("mis-verifier", 1, func(view *graph.View) local.Verdict {
+		lab := view.Labels[view.Root]
+		if lab != "0" && lab != "1" {
+			return local.No
+		}
+		anyNbrIn := false
+		for _, u := range view.G.Neighbors(view.Root) {
+			if view.Labels[u] == "1" {
+				anyNbrIn = true
+			}
+		}
+		if lab == "1" && anyNbrIn {
+			return local.No
+		}
+		if lab == "0" && !anyNbrIn {
+			return local.No
+		}
+		return local.Yes
+	})
+}
+
+// BoundedDegree is the property "every node has degree at most d" — a
+// hereditary property with a trivial horizon-1 verifier.
+func BoundedDegree(d int) decide.Property {
+	return decide.PropertyFunc("max-degree-"+strconv.Itoa(d), func(l *graph.Labeled) bool {
+		return l.G.MaxDegree() <= d
+	})
+}
+
+// BoundedDegreeVerifier verifies BoundedDegree at horizon 1.
+func BoundedDegreeVerifier(d int) local.ObliviousAlgorithm {
+	return local.ObliviousFunc("max-degree-verifier-"+strconv.Itoa(d), 1, func(view *graph.View) local.Verdict {
+		return local.Verdict(view.G.Degree(view.Root) <= d)
+	})
+}
+
+// TriangleFree is the property "G contains no triangle" — hereditary, with
+// a horizon-1 verifier (a triangle is visible in the closed neighbourhood of
+// any of its corners).
+func TriangleFree() decide.Property {
+	return decide.PropertyFunc("triangle-free", func(l *graph.Labeled) bool {
+		for v := 0; v < l.N(); v++ {
+			nbrs := l.G.Neighbors(v)
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if l.G.HasEdge(nbrs[i], nbrs[j]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// TriangleFreeVerifier verifies TriangleFree at horizon 1.
+func TriangleFreeVerifier() local.ObliviousAlgorithm {
+	return local.ObliviousFunc("triangle-free-verifier", 1, func(view *graph.View) local.Verdict {
+		nbrs := view.G.Neighbors(view.Root)
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if view.G.HasEdge(nbrs[i], nbrs[j]) {
+					return local.No
+				}
+			}
+		}
+		return local.Yes
+	})
+}
+
+// ParentPointers is the property "every node's label names the index of one
+// of its neighbours (its parent) or is 'root', and exactly the structure of
+// a consistent in-tree within each ball"... locality caveat: global
+// rootedness is NOT locally decidable; the locally checkable part is that
+// the named parent exists. This property illustrates labels that reference
+// structure.
+func ParentPointers() decide.Property {
+	return decide.PropertyFunc("parent-pointers", func(l *graph.Labeled) bool {
+		roots := 0
+		for v := 0; v < l.N(); v++ {
+			if l.Labels[v] == "root" {
+				roots++
+				continue
+			}
+			p, err := strconv.Atoi(string(l.Labels[v]))
+			if err != nil || !contains(l.G.Neighbors(v), p) {
+				return false
+			}
+		}
+		return roots == 1
+	})
+}
+
+// LeaderUniqueSuite builds yes/no instances for the "exactly one leader"
+// property — the canonical example of a property in NLD (and LD with a
+// promise) but not LD*: counting leaders is global.
+func LeaderUniqueSuite(sizes []int) *decide.Suite {
+	s := &decide.Suite{Name: "unique-leader"}
+	for _, n := range sizes {
+		labels := make([]graph.Label, n)
+		for i := range labels {
+			labels[i] = "follower"
+		}
+		labels[0] = "leader"
+		s.Yes = append(s.Yes, graph.NewLabeled(graph.Cycle(n), labels))
+
+		noLabels := make([]graph.Label, n)
+		for i := range noLabels {
+			noLabels[i] = "follower"
+		}
+		s.No = append(s.No, graph.NewLabeled(graph.Cycle(n), noLabels))
+
+		twoLabels := make([]graph.Label, n)
+		for i := range twoLabels {
+			twoLabels[i] = "follower"
+		}
+		twoLabels[0] = "leader"
+		twoLabels[n/2] = "leader"
+		s.No = append(s.No, graph.NewLabeled(graph.Cycle(n), twoLabels))
+	}
+	return s
+}
+
+// ColoringSuite builds yes/no instances for ThreeColoring.
+func ColoringSuite() *decide.Suite {
+	cycle6 := graph.Cycle(6)
+	proper := graph.NewLabeled(cycle6, []graph.Label{"0", "1", "0", "1", "0", "1"})
+	clash := graph.NewLabeled(cycle6, []graph.Label{"0", "0", "1", "0", "1", "0"})
+	badAlpha := graph.NewLabeled(cycle6, []graph.Label{"0", "1", "5", "1", "0", "1"})
+
+	path := graph.Path(4)
+	pathProper := graph.NewLabeled(path, []graph.Label{"2", "0", "2", "1"})
+
+	triangle := graph.Cycle(3)
+	triProper := graph.NewLabeled(triangle, []graph.Label{"0", "1", "2"})
+	triClash := graph.NewLabeled(triangle, []graph.Label{"0", "1", "1"})
+
+	return &decide.Suite{
+		Name: "3-colouring",
+		Yes:  []*graph.Labeled{proper, pathProper, triProper},
+		No:   []*graph.Labeled{clash, badAlpha, triClash},
+	}
+}
+
+// MISSuite builds yes/no instances for MIS.
+func MISSuite() *decide.Suite {
+	c5 := graph.Cycle(5)
+	yes := graph.NewLabeled(c5, []graph.Label{"1", "0", "1", "0", "0"})
+	notIndependent := graph.NewLabeled(c5, []graph.Label{"1", "1", "0", "1", "0"})
+	notMaximal := graph.NewLabeled(c5, []graph.Label{"1", "0", "0", "0", "0"})
+
+	star := graph.Star(5)
+	centre := graph.NewLabeled(star, []graph.Label{"1", "0", "0", "0", "0"})
+	leaves := graph.NewLabeled(star, []graph.Label{"0", "1", "1", "1", "1"})
+
+	return &decide.Suite{
+		Name: "mis",
+		Yes:  []*graph.Labeled{yes, centre, leaves},
+		No:   []*graph.Labeled{notIndependent, notMaximal},
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

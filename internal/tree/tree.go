@@ -1,0 +1,356 @@
+// Package tree builds the layered trees of the paper's Section 2 (Figure 1)
+// and the layered quadtree pyramids of Appendix A (Figure 3).
+//
+// A layered depth-k tree is a complete binary tree of depth k in which,
+// additionally, the nodes of each level are connected by a path in the
+// natural (left-to-right) order. A pyramid is a square grid with a stack of
+// shrinking quadtree levels attached on top, which makes the grid's global
+// structure locally checkable.
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Coord is the position of a node in a layered tree: level y (0 = root) and
+// index x within the level (0 <= x < 2^y).
+type Coord struct {
+	X, Y int
+}
+
+// LayeredTree is a layered depth-k tree together with its coordinate system.
+type LayeredTree struct {
+	Depth  int
+	G      *graph.Graph
+	Coords []Coord
+	// index maps a coordinate to its node.
+	index map[Coord]int
+}
+
+// NewLayeredTree constructs the layered depth-k tree. Node numbering is
+// level order: node for (x, y) is 2^y - 1 + x.
+func NewLayeredTree(depth int) *LayeredTree {
+	if depth < 0 {
+		panic("tree: negative depth")
+	}
+	if depth > 25 {
+		panic(fmt.Sprintf("tree: depth %d would allocate 2^%d nodes", depth, depth+1))
+	}
+	n := (1 << (depth + 1)) - 1
+	g := graph.New(n)
+	coords := make([]Coord, n)
+	index := make(map[Coord]int, n)
+	for y := 0; y <= depth; y++ {
+		width := 1 << y
+		base := width - 1
+		for x := 0; x < width; x++ {
+			v := base + x
+			coords[v] = Coord{X: x, Y: y}
+			index[Coord{X: x, Y: y}] = v
+			if x > 0 {
+				g.AddEdge(v-1, v) // level path
+			}
+			if y > 0 {
+				parent := (1 << (y - 1)) - 1 + x/2
+				g.AddEdge(parent, v)
+			}
+		}
+	}
+	return &LayeredTree{Depth: depth, G: g, Coords: coords, index: index}
+}
+
+// Node returns the node index for a coordinate.
+func (t *LayeredTree) Node(c Coord) (int, bool) {
+	v, ok := t.index[c]
+	return v, ok
+}
+
+// MustNode is Node for coordinates known to exist.
+func (t *LayeredTree) MustNode(c Coord) int {
+	v, ok := t.index[c]
+	if !ok {
+		panic(fmt.Sprintf("tree: no node at %+v", c))
+	}
+	return v
+}
+
+// N returns the number of nodes.
+func (t *LayeredTree) N() int { return t.G.N() }
+
+// CoordLabel encodes the paper's (r, x, y) node label.
+func CoordLabel(r int, c Coord) graph.Label {
+	return fmt.Sprintf("lt{r=%d;x=%d;y=%d}", r, c.X, c.Y)
+}
+
+// ParseCoordLabel inverts CoordLabel.
+func ParseCoordLabel(lab graph.Label) (r int, c Coord, err error) {
+	if _, err = fmt.Sscanf(lab, "lt{r=%d;x=%d;y=%d}", &r, &c.X, &c.Y); err != nil {
+		return 0, Coord{}, fmt.Errorf("tree: bad coordinate label %q: %w", lab, err)
+	}
+	return r, c, nil
+}
+
+// PivotLabel is the label of the pivot node in the paper's H+ instances.
+func PivotLabel(r int) graph.Label { return fmt.Sprintf("pivot{r=%d}", r) }
+
+// IsPivotLabel reports whether a label is a pivot label and extracts r.
+func IsPivotLabel(lab graph.Label) (int, bool) {
+	var r int
+	if _, err := fmt.Sscanf(lab, "pivot{r=%d}", &r); err != nil {
+		return 0, false
+	}
+	return r, true
+}
+
+// Labeled returns the layered tree as a labelled graph with (r, x, y)
+// coordinate labels — the paper's T_r when depth = R(r).
+func (t *LayeredTree) Labeled(r int) *graph.Labeled {
+	labels := make([]graph.Label, t.N())
+	for v, c := range t.Coords {
+		labels[v] = CoordLabel(r, c)
+	}
+	return graph.NewLabeled(t.G, labels)
+}
+
+// Slice describes an aligned depth-d sub-layered-tree of a layered tree: the
+// descendant slice of the node at (rootY, rootX) down d levels. These are
+// exactly the induced subgraphs of a layered tree whose topology is a
+// layered depth-d tree (tree edges force alignment).
+type Slice struct {
+	RootX, RootY, Depth int
+}
+
+// SliceNodes lists the nodes of a slice inside t, in level order.
+func (t *LayeredTree) SliceNodes(s Slice) ([]int, error) {
+	if s.Depth < 0 || s.RootY < 0 || s.RootY+s.Depth > t.Depth {
+		return nil, fmt.Errorf("tree: slice %+v out of depth-%d tree", s, t.Depth)
+	}
+	if s.RootX < 0 || s.RootX >= 1<<s.RootY {
+		return nil, fmt.Errorf("tree: slice root x=%d out of level %d", s.RootX, s.RootY)
+	}
+	var nodes []int
+	for d := 0; d <= s.Depth; d++ {
+		y := s.RootY + d
+		lo := s.RootX << d
+		hi := (s.RootX + 1) << d // exclusive
+		for x := lo; x < hi; x++ {
+			nodes = append(nodes, t.MustNode(Coord{X: x, Y: y}))
+		}
+	}
+	return nodes, nil
+}
+
+// AllSlices enumerates every depth-d slice of t.
+func (t *LayeredTree) AllSlices(d int) []Slice {
+	var out []Slice
+	for y0 := 0; y0+d <= t.Depth; y0++ {
+		for x0 := 0; x0 < 1<<y0; x0++ {
+			out = append(out, Slice{RootX: x0, RootY: y0, Depth: d})
+		}
+	}
+	return out
+}
+
+// BorderNodes returns the nodes of the slice that have a neighbour outside
+// the slice (the paper's border nodes, to which the pivot is attached).
+func (t *LayeredTree) BorderNodes(s Slice) ([]int, error) {
+	nodes, err := t.SliceNodes(s)
+	if err != nil {
+		return nil, err
+	}
+	inSlice := make(map[int]struct{}, len(nodes))
+	for _, v := range nodes {
+		inSlice[v] = struct{}{}
+	}
+	var border []int
+	for _, v := range nodes {
+		for _, u := range t.G.Neighbors(v) {
+			if _, ok := inSlice[u]; !ok {
+				border = append(border, v)
+				break
+			}
+		}
+	}
+	return border, nil
+}
+
+// Pyramid (Appendix A, Figure 3) ------------------------------------------------
+
+// Pyramid is a layered quadtree over a 2^h x 2^h base grid: level z holds a
+// 2^(h-z) x 2^(h-z) grid, and each node (x, y, z), z < h, connects to
+// (floor(x/2), floor(y/2), z+1). The base level z=0 is the grid itself.
+type Pyramid struct {
+	H int
+	G *graph.Graph
+	// Coords3 maps node -> (x, y, z).
+	Coords3 [][3]int
+	index   map[[3]int]int
+}
+
+// NewPyramid builds the pyramid of height h (base 2^h x 2^h).
+func NewPyramid(h int) *Pyramid {
+	if h < 0 {
+		panic("tree: negative pyramid height")
+	}
+	if h > 12 {
+		panic(fmt.Sprintf("tree: pyramid height %d too large", h))
+	}
+	total := 0
+	for z := 0; z <= h; z++ {
+		side := 1 << (h - z)
+		total += side * side
+	}
+	g := graph.New(total)
+	coords := make([][3]int, total)
+	index := make(map[[3]int]int, total)
+	v := 0
+	for z := 0; z <= h; z++ {
+		side := 1 << (h - z)
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				coords[v] = [3]int{x, y, z}
+				index[[3]int{x, y, z}] = v
+				v++
+			}
+		}
+	}
+	for v, c := range coords {
+		x, y, z := c[0], c[1], c[2]
+		side := 1 << (h - z)
+		if x+1 < side {
+			g.AddEdge(v, index[[3]int{x + 1, y, z}])
+		}
+		if y+1 < side {
+			g.AddEdge(v, index[[3]int{x, y + 1, z}])
+		}
+		if z < h {
+			g.AddEdge(v, index[[3]int{x / 2, y / 2, z + 1}])
+		}
+	}
+	return &Pyramid{H: h, G: g, Coords3: coords, index: index}
+}
+
+// Node returns the node at pyramid coordinate (x, y, z).
+func (p *Pyramid) Node(x, y, z int) (int, bool) {
+	v, ok := p.index[[3]int{x, y, z}]
+	return v, ok
+}
+
+// BaseNode returns the base-grid node at (x, y, 0).
+func (p *Pyramid) BaseNode(x, y int) int {
+	v, ok := p.Node(x, y, 0)
+	if !ok {
+		panic(fmt.Sprintf("tree: base node (%d,%d) out of range", x, y))
+	}
+	return v
+}
+
+// Apex returns the single top node.
+func (p *Pyramid) Apex() int {
+	v, ok := p.Node(0, 0, p.H)
+	if !ok {
+		panic("tree: pyramid missing apex")
+	}
+	return v
+}
+
+// N returns the number of nodes.
+func (p *Pyramid) N() int { return p.G.N() }
+
+// BaseSide returns the side length 2^h of the base grid.
+func (p *Pyramid) BaseSide() int { return 1 << p.H }
+
+// Verification --------------------------------------------------------------------
+
+// VerifyLayeredTreeLabels checks globally that a labelled graph is exactly a
+// layered depth-k tree with correct (r, x, y) coordinate labels for the given
+// r (the global version of the local structure checks in the paper's proof
+// of P' ∈ LD*). It returns the depth on success.
+func VerifyLayeredTreeLabels(l *graph.Labeled, r int) (int, error) {
+	n := l.N()
+	if n == 0 {
+		return 0, fmt.Errorf("tree: empty graph")
+	}
+	coords := make([]Coord, n)
+	maxY := 0
+	for v, lab := range l.Labels {
+		rr, c, err := ParseCoordLabel(lab)
+		if err != nil {
+			return 0, err
+		}
+		if rr != r {
+			return 0, fmt.Errorf("tree: node %d carries r=%d, want %d", v, rr, r)
+		}
+		if c.Y < 0 || c.X < 0 || c.X >= 1<<c.Y {
+			return 0, fmt.Errorf("tree: node %d has invalid coordinates %+v", v, c)
+		}
+		coords[v] = c
+		if c.Y > maxY {
+			maxY = c.Y
+		}
+	}
+	want := NewLayeredTree(maxY)
+	if n != want.N() {
+		return 0, fmt.Errorf("tree: %d nodes, want %d for depth %d", n, want.N(), maxY)
+	}
+	// Coordinates must be a bijection, and edges must match exactly.
+	seen := make(map[Coord]int, n)
+	for v, c := range coords {
+		if _, dup := seen[c]; dup {
+			return 0, fmt.Errorf("tree: duplicate coordinate %+v", c)
+		}
+		seen[c] = v
+	}
+	for v, c := range coords {
+		wantV := want.MustNode(c)
+		for _, wu := range want.G.Neighbors(wantV) {
+			uc := want.Coords[wu]
+			u, ok := seen[uc]
+			if !ok {
+				return 0, fmt.Errorf("tree: missing coordinate %+v", uc)
+			}
+			if !l.G.HasEdge(v, u) {
+				return 0, fmt.Errorf("tree: missing edge %+v-%+v", c, uc)
+			}
+		}
+		if l.G.Degree(v) != want.G.Degree(wantV) {
+			return 0, fmt.Errorf("tree: extra edges at %+v", c)
+		}
+	}
+	return maxY, nil
+}
+
+// VerifyPyramid checks globally that a graph is the pyramid of height h
+// given a claimed coordinate assignment (used by the Appendix-A checkability
+// experiments; the local variant is in package halting).
+func VerifyPyramid(g *graph.Graph, coords [][3]int, h int) error {
+	want := NewPyramid(h)
+	if g.N() != want.N() {
+		return fmt.Errorf("tree: %d nodes, want %d", g.N(), want.N())
+	}
+	index := make(map[[3]int]int, len(coords))
+	for v, c := range coords {
+		if _, dup := index[c]; dup {
+			return fmt.Errorf("tree: duplicate pyramid coordinate %v", c)
+		}
+		if _, ok := want.index[c]; !ok {
+			return fmt.Errorf("tree: invalid pyramid coordinate %v", c)
+		}
+		index[c] = v
+	}
+	for v, c := range coords {
+		wantV := want.index[c]
+		if g.Degree(v) != want.G.Degree(wantV) {
+			return fmt.Errorf("tree: degree mismatch at %v", c)
+		}
+		for _, wu := range want.G.Neighbors(wantV) {
+			u := index[want.Coords3[wu]]
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("tree: missing edge %v-%v", c, want.Coords3[wu])
+			}
+		}
+	}
+	return nil
+}

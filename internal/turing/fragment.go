@@ -1,0 +1,410 @@
+package turing
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fragment is an h x w grid of cells that satisfies the local window rules of
+// a machine's execution table everywhere, with no constraints at its borders
+// (heads may enter or leave across them). The fragment collection C(M, r) of
+// the paper consists of all such labelled grids of size 3r x 3r.
+type Fragment struct {
+	Machine *Machine
+	Cells   [][]Cell
+}
+
+// Width returns the number of columns.
+func (f *Fragment) Width() int {
+	if len(f.Cells) == 0 {
+		return 0
+	}
+	return len(f.Cells[0])
+}
+
+// Height returns the number of rows.
+func (f *Fragment) Height() int { return len(f.Cells) }
+
+// Key is a deterministic content fingerprint used for dedup and set
+// comparisons.
+func (f *Fragment) Key() string {
+	var b strings.Builder
+	for _, row := range f.Cells {
+		for _, c := range row {
+			fmt.Fprintf(&b, "%c%d;", c.Sym, c.State)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Consistent verifies every interior window of the fragment, treating the
+// outside as Unknown (the paper's "no limitations on how the boundary nodes
+// are labelled, as long as every sub-table is consistent").
+func (f *Fragment) Consistent() error {
+	h, w := f.Height(), f.Width()
+	for y := 0; y+1 < h; y++ {
+		for x := 0; x < w; x++ {
+			left := UnknownNeighbor()
+			if x > 0 {
+				left = KnownNeighbor(f.Cells[y][x-1])
+			}
+			right := UnknownNeighbor()
+			if x+1 < w {
+				right = KnownNeighbor(f.Cells[y][x+1])
+			}
+			options := NextCells(f.Machine, left, f.Cells[y][x], right)
+			if !containsCell(options, f.Cells[y+1][x]) {
+				return fmt.Errorf("turing: fragment window violation at row %d col %d", y, x)
+			}
+		}
+	}
+	return nil
+}
+
+// Border naturalness (Section 3.2). A border is "natural" if it could, in
+// principle, appear at the corresponding edge of a genuine execution table:
+// no head crosses it. Non-natural borders are the ones glued to the pivot.
+
+// LeftNatural reports whether the leftmost column could be the tape edge:
+// every cell of the column remains consistent when the outside is a Wall, and
+// no head in the column moves Left.
+func (f *Fragment) LeftNatural() bool { return f.sideNatural(0, WallNeighbor(), Left) }
+
+// RightNatural is the right-side analogue of LeftNatural.
+func (f *Fragment) RightNatural() bool {
+	return f.sideNatural(f.Width()-1, WallNeighbor(), Right)
+}
+
+func (f *Fragment) sideNatural(col int, outside Neighbor, crossing Move) bool {
+	h, w := f.Height(), f.Width()
+	for y := 0; y < h; y++ {
+		c := f.Cells[y][col]
+		// No head may cross the border outward.
+		if c.State != NoHead && !f.Machine.IsHalt(c.State) {
+			tr := f.Machine.Delta[TransKey{State: c.State, Read: c.Sym}]
+			if tr.Move == crossing {
+				return false
+			}
+		}
+		// Each cell below must still be explainable with a Wall outside
+		// (no head arrived from beyond the border).
+		if y+1 < h {
+			var left, right Neighbor
+			if crossing == Left { // checking the leftmost column
+				left = outside
+				if w > 1 {
+					right = KnownNeighbor(f.Cells[y][col+1])
+				} else {
+					right = UnknownNeighbor()
+				}
+			} else { // rightmost column
+				right = outside
+				if w > 1 {
+					left = KnownNeighbor(f.Cells[y][col-1])
+				} else {
+					left = UnknownNeighbor()
+				}
+			}
+			options := NextCells(f.Machine, left, f.Cells[y][col], right)
+			if !containsCell(options, f.Cells[y+1][col]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BottomNatural reports whether the bottom row could end an execution table:
+// it contains no non-halting head.
+func (f *Fragment) BottomNatural() bool {
+	for _, c := range f.Cells[f.Height()-1] {
+		if c.State != NoHead && !f.Machine.IsHalt(c.State) {
+			return false
+		}
+	}
+	return true
+}
+
+// TopNatural is false for every fragment: the paper defines the top row as
+// never natural, which keeps the non-natural borders non-empty so that every
+// fragment is glued to the pivot.
+func (f *Fragment) TopNatural() bool { return false }
+
+// BorderSpec records which borders of a fragment are interpreted as
+// non-natural (glued to the pivot). The top row is always non-natural. A
+// spec may mark a border non-natural even though it is natural in fact —
+// the paper's variant-splitting does exactly this — but never the converse.
+type BorderSpec struct {
+	Left   bool
+	Right  bool
+	Bottom bool
+}
+
+// ActualBorderSpec returns the borders that are truly non-natural.
+func (f *Fragment) ActualBorderSpec() BorderSpec {
+	return BorderSpec{
+		Left:   !f.LeftNatural(),
+		Right:  !f.RightNatural(),
+		Bottom: !f.BottomNatural(),
+	}
+}
+
+// GluingVariants returns the border interpretations under which this
+// fragment enters the collection C. Usually this is the single actual spec;
+// in the paper's "technical point" case — bottom non-natural while both
+// sides are natural, so the glued borders would be disconnected — the
+// fragment is replaced by two variants that force the left and right border
+// non-natural in turn.
+func (f *Fragment) GluingVariants() []BorderSpec {
+	spec := f.ActualBorderSpec()
+	if f.BorderConnected(spec) {
+		return []BorderSpec{spec}
+	}
+	left := spec
+	left.Left = true
+	right := spec
+	right.Right = true
+	return []BorderSpec{left, right}
+}
+
+// BorderConnected reports whether the non-natural borders under the given
+// spec form a connected subgraph of the fragment's grid (together with the
+// always-non-natural top row).
+func (f *Fragment) BorderConnected(spec BorderSpec) bool {
+	nonNat := make(map[[2]int]struct{})
+	for _, p := range f.BorderCells(spec) {
+		nonNat[p] = struct{}{}
+	}
+	if len(nonNat) == 0 {
+		return false
+	}
+	var start [2]int
+	for p := range nonNat {
+		start = p
+		break
+	}
+	seen := map[[2]int]struct{}{start: {}}
+	queue := [][2]int{start}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, d := range [][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
+			q := [2]int{p[0] + d[0], p[1] + d[1]}
+			if _, in := nonNat[q]; !in {
+				continue
+			}
+			if _, dup := seen[q]; dup {
+				continue
+			}
+			seen[q] = struct{}{}
+			queue = append(queue, q)
+		}
+	}
+	return len(seen) == len(nonNat)
+}
+
+// BorderCells returns the (y, x) coordinates of the cells on the borders
+// marked by spec plus the top row — the cells that get glued to the pivot
+// node — in row-major order.
+func (f *Fragment) BorderCells(spec BorderSpec) [][2]int {
+	h, w := f.Height(), f.Width()
+	set := make(map[[2]int]struct{})
+	for x := 0; x < w; x++ {
+		set[[2]int{0, x}] = struct{}{}
+	}
+	if spec.Left {
+		for y := 0; y < h; y++ {
+			set[[2]int{y, 0}] = struct{}{}
+		}
+	}
+	if spec.Right {
+		for y := 0; y < h; y++ {
+			set[[2]int{y, w - 1}] = struct{}{}
+		}
+	}
+	if spec.Bottom {
+		for x := 0; x < w; x++ {
+			set[[2]int{h - 1, x}] = struct{}{}
+		}
+	}
+	out := make([][2]int, 0, len(set))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if _, in := set[[2]int{y, x}]; in {
+				out = append(out, [2]int{y, x})
+			}
+		}
+	}
+	return out
+}
+
+// NonNaturalBorders returns the glued cells under the fragment's actual
+// border spec.
+func (f *Fragment) NonNaturalBorders() [][2]int {
+	return f.BorderCells(f.ActualBorderSpec())
+}
+
+// EnumerateResult is the output of EnumerateFragments.
+type EnumerateResult struct {
+	Fragments []*Fragment
+	// Truncated is true when the enumeration stopped at the limit; callers
+	// must surface this (no silent caps).
+	Truncated bool
+	// TotalExplored counts partial labellings visited, a measure of the
+	// syntactic search space.
+	TotalExplored int
+}
+
+// cellDomain returns every possible cell value: any symbol, with no head, an
+// ordinary-state head, or a halting head.
+func cellDomain(m *Machine) []Cell {
+	out := make([]Cell, 0, len(m.Symbols)*(m.States+2))
+	for _, s := range m.Symbols {
+		out = append(out, Cell{Sym: s, State: NoHead})
+		for q := 0; q < m.States; q++ {
+			out = append(out, Cell{Sym: s, State: State(q)})
+		}
+		out = append(out, Cell{Sym: s, State: m.Halt})
+	}
+	return out
+}
+
+// EnumerateFragments generates the fragment collection C(M, r) for fragments
+// of the given dimensions: every h x w cell grid satisfying the window rules
+// with unconstrained borders. The first row ranges over all cell
+// combinations; each subsequent row is filled column by column from the
+// window relation. Enumeration is depth-first and deterministic. At most
+// limit fragments are produced (limit <= 0 means unlimited); if the limit
+// stops the enumeration, Truncated is set.
+func EnumerateFragments(m *Machine, h, w, limit int) *EnumerateResult {
+	if h < 1 || w < 1 {
+		panic(fmt.Sprintf("turing: invalid fragment dims %dx%d", h, w))
+	}
+	res := &EnumerateResult{}
+	domain := cellDomain(m)
+	grid := make([][]Cell, h)
+	for i := range grid {
+		grid[i] = make([]Cell, w)
+	}
+	var rec func(y, x int) bool // returns false to stop (limit reached)
+	rec = func(y, x int) bool {
+		if y == h {
+			cells := make([][]Cell, h)
+			for i := range cells {
+				cells[i] = append([]Cell(nil), grid[i]...)
+			}
+			res.Fragments = append(res.Fragments, &Fragment{Machine: m, Cells: cells})
+			return limit <= 0 || len(res.Fragments) < limit
+		}
+		if x == w {
+			return rec(y+1, 0)
+		}
+		res.TotalExplored++
+		var options []Cell
+		if y == 0 {
+			options = domain
+		} else {
+			left := UnknownNeighbor()
+			if x > 0 {
+				left = KnownNeighbor(grid[y-1][x-1])
+			}
+			right := UnknownNeighbor()
+			if x+1 < w {
+				right = KnownNeighbor(grid[y-1][x+1])
+			}
+			options = NextCells(m, left, grid[y-1][x], right)
+		}
+		for _, c := range options {
+			grid[y][x] = c
+			if !rec(y, x+1) {
+				return false
+			}
+		}
+		return true
+	}
+	res.Truncated = !rec(0, 0)
+	return res
+}
+
+// FragmentOfTable cuts the h x w sub-grid of a table at (row, col) as a
+// Fragment. Sub-grids of genuine execution tables are always consistent
+// fragments — the containment property behind the paper's "every
+// r-neighbourhood in T is found already in some labelled fragment in C".
+func FragmentOfTable(t *Table, row, col, h, w int) *Fragment {
+	return &Fragment{Machine: t.Machine, Cells: t.SubGrid(row, col, h, w)}
+}
+
+// ContainsFragment reports whether the collection contains a fragment with
+// exactly the given content.
+func ContainsFragment(fragments []*Fragment, f *Fragment) bool {
+	key := f.Key()
+	for _, g := range fragments {
+		if g.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// ReconstructFromBorders demonstrates the paper's Border property: given only
+// the cells on the non-natural borders of a fragment (the cells a pivot node
+// sees through its gluing edges), the window rules reconstruct the fragment
+// uniquely. Natural borders — which are absent from the input — carry the
+// guarantee that no head ever crossed them, so the propagation treats the
+// regions beyond them as walls.
+//
+// The borders map must contain the full top row (the top is never natural)
+// and the full left/right columns and bottom row exactly when those borders
+// are non-natural. Reconstruction proceeds row by row; it returns the
+// reconstructed fragment and whether it is complete and consistent with the
+// provided border cells.
+func ReconstructFromBorders(m *Machine, h, w int, borders map[[2]int]Cell) (*Fragment, bool) {
+	cells := make([][]Cell, h)
+	for y := range cells {
+		cells[y] = make([]Cell, w)
+	}
+	// Top row must be fully present.
+	for x := 0; x < w; x++ {
+		c, ok := borders[[2]int{0, x}]
+		if !ok {
+			return nil, false
+		}
+		cells[0][x] = c
+	}
+	for y := 1; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if c, ok := borders[[2]int{y, x}]; ok && (x == 0 || x == w-1) {
+				// Known non-natural side column: take it, but also verify it
+				// against the propagation below where possible.
+				cells[y][x] = c
+				continue
+			}
+			left := WallNeighbor() // natural border: nothing crosses
+			if x > 0 {
+				left = KnownNeighbor(cells[y-1][x-1])
+			}
+			right := WallNeighbor()
+			if x+1 < w {
+				right = KnownNeighbor(cells[y-1][x+1])
+			}
+			options := NextCells(m, left, cells[y-1][x], right)
+			if len(options) != 1 {
+				return nil, false
+			}
+			cells[y][x] = options[0]
+		}
+	}
+	// Verify all provided border cells agree with the reconstruction.
+	frag := &Fragment{Machine: m, Cells: cells}
+	for p, c := range borders {
+		if cells[p[0]][p[1]] != c {
+			return frag, false
+		}
+	}
+	// Unknown-free verification: the reconstruction must be consistent.
+	if err := frag.Consistent(); err != nil {
+		return frag, false
+	}
+	return frag, true
+}

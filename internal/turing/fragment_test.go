@@ -1,0 +1,291 @@
+package turing
+
+import (
+	"testing"
+)
+
+func TestEnumerateFragmentsHalt0(t *testing.T) {
+	m := HaltWith('0')
+	res := EnumerateFragments(m, 3, 3, 0)
+	if res.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	// halt-0 has no Left/Right-entering transitions, so each of the
+	// (3 symbols x 3 head options)^3 = 729 first rows extends uniquely.
+	if len(res.Fragments) != 729 {
+		t.Fatalf("fragment count = %d, want 729", len(res.Fragments))
+	}
+	for _, f := range res.Fragments[:50] {
+		if err := f.Consistent(); err != nil {
+			t.Fatalf("enumerated fragment inconsistent: %v", err)
+		}
+	}
+}
+
+func TestEnumerateFragmentsLimit(t *testing.T) {
+	m := HaltWith('0')
+	res := EnumerateFragments(m, 3, 3, 10)
+	if !res.Truncated {
+		t.Fatal("limit should truncate")
+	}
+	if len(res.Fragments) != 10 {
+		t.Fatalf("got %d fragments with limit 10", len(res.Fragments))
+	}
+}
+
+// The containment property behind (P3): every sub-grid of a genuine
+// execution table occurs in the enumerated fragment collection.
+func TestTableSubgridsAreFragments(t *testing.T) {
+	m := Counter(3, '0')
+	tab := mustTable(t, m) // 5x5
+	res := EnumerateFragments(m, 3, 3, 0)
+	if res.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	keys := make(map[string]struct{}, len(res.Fragments))
+	for _, f := range res.Fragments {
+		keys[f.Key()] = struct{}{}
+	}
+	for row := 0; row+3 <= tab.Height(); row++ {
+		for col := 0; col+3 <= tab.Width(); col++ {
+			f := FragmentOfTable(tab, row, col, 3, 3)
+			if err := f.Consistent(); err != nil {
+				t.Fatalf("table subgrid (%d,%d) not consistent: %v", row, col, err)
+			}
+			if _, ok := keys[f.Key()]; !ok {
+				t.Fatalf("table subgrid (%d,%d) missing from C(M, r)", row, col)
+			}
+		}
+	}
+}
+
+func TestFragmentOfTableConsistencyAllMachines(t *testing.T) {
+	for _, m := range []*Machine{HaltWith('0'), HaltWith('1'), Counter(4, '1'), BusyBeaverish()} {
+		tab := mustTable(t, m)
+		h, w := tab.Height(), tab.Width()
+		for _, dims := range [][2]int{{2, 2}, {2, 3}, {3, 3}} {
+			fh, fw := dims[0], dims[1]
+			if fh > h || fw > w {
+				continue
+			}
+			for row := 0; row+fh <= h; row++ {
+				for col := 0; col+fw <= w; col++ {
+					f := FragmentOfTable(tab, row, col, fh, fw)
+					if err := f.Consistent(); err != nil {
+						t.Fatalf("%s subgrid (%d,%d,%dx%d): %v", m.Name, row, col, fh, fw, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBorderNaturalness(t *testing.T) {
+	m := Counter(2, '0')   // head marches right from column 0, halts at column 2
+	tab := mustTable(t, m) // 4x4
+
+	// Full-width fragment anchored at the table origin: the left border is
+	// the genuine tape edge (natural); the head crosses column boundaries
+	// moving right, so interior-anchored left borders that the head crosses
+	// are non-natural.
+	left := FragmentOfTable(tab, 0, 0, 3, 2)
+	if !left.LeftNatural() {
+		t.Error("tape-edge left border should be natural")
+	}
+	// Fragment anchored at column 1: the head enters column 1 from column 0
+	// (outside the fragment), so its left border is non-natural.
+	shifted := FragmentOfTable(tab, 0, 1, 3, 2)
+	if shifted.LeftNatural() {
+		t.Error("head-crossed left border should be non-natural")
+	}
+	// Right border of a window the head exits rightward through.
+	if left.RightNatural() {
+		t.Error("head exits through the right border; should be non-natural")
+	}
+	// The last rows: frozen halting configuration; bottom row of the full
+	// table contains only the halting head, which is natural.
+	full := FragmentOfTable(tab, 0, 0, tab.Height(), tab.Width())
+	if !full.BottomNatural() {
+		t.Error("halting bottom row should be natural")
+	}
+	// A bottom row with a live head is non-natural.
+	mid := FragmentOfTable(tab, 0, 0, 2, tab.Width())
+	if mid.BottomNatural() {
+		t.Error("bottom row with live head should be non-natural")
+	}
+	if full.TopNatural() {
+		t.Error("the top row is never natural")
+	}
+}
+
+func TestNonNaturalBordersAndConnectivity(t *testing.T) {
+	m := Counter(2, '0')
+	tab := mustTable(t, m)
+	f := FragmentOfTable(tab, 0, 0, 3, 3)
+	borders := f.NonNaturalBorders()
+	// Top row always included.
+	top := 0
+	for _, p := range borders {
+		if p[0] == 0 {
+			top++
+		}
+	}
+	if top != 3 {
+		t.Errorf("top-row border cells = %d, want 3", top)
+	}
+
+	// This fragment hits the paper's "technical point": its bottom row holds
+	// a live head (non-natural) while both side borders are natural, so the
+	// actual glued borders are disconnected and gluing must use the two
+	// forced variants instead.
+	spec := f.ActualBorderSpec()
+	if !spec.Bottom || spec.Left || spec.Right {
+		t.Fatalf("unexpected actual spec %+v", spec)
+	}
+	if f.BorderConnected(spec) {
+		t.Error("top+bottom-only borders should be disconnected in a 3x3 fragment")
+	}
+	variants := f.GluingVariants()
+	if len(variants) != 2 {
+		t.Fatalf("variants = %+v, want 2 forced variants", variants)
+	}
+	for _, v := range variants {
+		if !f.BorderConnected(v) {
+			t.Errorf("variant %+v still disconnected", v)
+		}
+	}
+
+	// A fragment whose side border is crossed by the head is connected as-is.
+	g := FragmentOfTable(tab, 0, 1, 3, 2)
+	gspec := g.ActualBorderSpec()
+	if !gspec.Left {
+		t.Fatalf("expected non-natural left border, got %+v", gspec)
+	}
+	if !g.BorderConnected(gspec) {
+		t.Error("side+top borders should be connected")
+	}
+	if n := len(g.GluingVariants()); n != 1 {
+		t.Errorf("connected fragment should have 1 variant, got %d", n)
+	}
+}
+
+func TestReconstructFromBorders(t *testing.T) {
+	m := Counter(2, '0')
+	tab := mustTable(t, m)
+	f := FragmentOfTable(tab, 0, 0, 3, 3)
+	borders := make(map[[2]int]Cell)
+	for _, p := range f.NonNaturalBorders() {
+		borders[p] = f.Cells[p[0]][p[1]]
+	}
+	got, ok := ReconstructFromBorders(m, 3, 3, borders)
+	if !ok {
+		t.Fatal("reconstruction failed")
+	}
+	if got.Key() != f.Key() {
+		t.Fatalf("reconstruction mismatch:\ngot  %s\nwant %s", got.Key(), f.Key())
+	}
+}
+
+func TestReconstructRejectsMissingTopRow(t *testing.T) {
+	m := HaltWith('0')
+	borders := map[[2]int]Cell{
+		{0, 0}: {Sym: Blank, State: 0},
+		// (0,1), (0,2) missing
+	}
+	if _, ok := ReconstructFromBorders(m, 3, 3, borders); ok {
+		t.Error("incomplete top row should fail")
+	}
+}
+
+func TestReconstructRejectsInconsistentBorders(t *testing.T) {
+	m := Counter(2, '0')
+	tab := mustTable(t, m)
+	f := FragmentOfTable(tab, 0, 0, 3, 3)
+	borders := make(map[[2]int]Cell)
+	for _, p := range f.NonNaturalBorders() {
+		borders[p] = f.Cells[p[0]][p[1]]
+	}
+	// Corrupt one non-top border cell that propagation will contradict.
+	for p := range borders {
+		if p[0] == 2 { // bottom or side row beyond the top
+			c := borders[p]
+			c.Sym = '1'
+			if f.Cells[p[0]][p[1]].Sym == '1' {
+				c.Sym = '0'
+			}
+			borders[p] = c
+			break
+		}
+	}
+	if _, ok := ReconstructFromBorders(m, 3, 3, borders); ok {
+		t.Error("corrupted borders should fail reconstruction")
+	}
+}
+
+func TestFragmentKeyDistinguishes(t *testing.T) {
+	m := HaltWith('0')
+	res := EnumerateFragments(m, 2, 2, 0)
+	keys := make(map[string]struct{}, len(res.Fragments))
+	for _, f := range res.Fragments {
+		if _, dup := keys[f.Key()]; dup {
+			t.Fatal("duplicate fragment key in enumeration")
+		}
+		keys[f.Key()] = struct{}{}
+	}
+}
+
+func TestContainsFragment(t *testing.T) {
+	m := HaltWith('0')
+	res := EnumerateFragments(m, 2, 2, 20)
+	if !ContainsFragment(res.Fragments, res.Fragments[3]) {
+		t.Error("own member not found")
+	}
+	other := &Fragment{Machine: m, Cells: [][]Cell{
+		{{Sym: 'Z', State: NoHead}, {Sym: 'Z', State: NoHead}},
+		{{Sym: 'Z', State: NoHead}, {Sym: 'Z', State: NoHead}},
+	}}
+	if ContainsFragment(res.Fragments, other) {
+		t.Error("foreign fragment found")
+	}
+}
+
+func TestEnumerateFragmentsZigzagBordersArrivals(t *testing.T) {
+	// Zigzag has both left- and right-moving transitions, so Unknown borders
+	// admit head arrivals: fragments where a head materialises at the border
+	// must exist.
+	m := Zigzag()
+	res := EnumerateFragments(m, 2, 2, 5000)
+	foundArrival := false
+	for _, f := range res.Fragments {
+		// Head in row 1 at a border column without a head anywhere in row 0.
+		headRow0 := false
+		for _, c := range f.Cells[0] {
+			if c.HasHead() {
+				headRow0 = true
+			}
+		}
+		if headRow0 {
+			continue
+		}
+		for _, x := range []int{0, f.Width() - 1} {
+			if f.Cells[1][x].HasHead() {
+				foundArrival = true
+			}
+		}
+		if foundArrival {
+			break
+		}
+	}
+	if !foundArrival {
+		t.Error("no border-arrival fragment found; Unknown borders not modelled")
+	}
+}
+
+func TestEnumerateInvalidDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EnumerateFragments(HaltWith('0'), 0, 3, 0)
+}

@@ -1,0 +1,313 @@
+// Package turing implements the sequential-computability substrate of the
+// paper's Section 3: deterministic single-tape Turing machines, bounded
+// simulation, execution tables (space-time diagrams) with a locally checkable
+// cell-labelling scheme, and the enumeration of all syntactically possible
+// table fragments used by the fragment collection C(M, r).
+//
+// Local consistency is expressed through 2-row x 3-column windows in the
+// Cook-Levin style: the cell below is determined by the three cells above it.
+// The paper uses a labelling scheme with 2x2 windows; the difference is a
+// constant in the checking radius only (see DESIGN.md), and the window
+// relation here is the conventional, easily-audited one.
+package turing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is a tape symbol. The blank symbol is always Blank.
+type Symbol byte
+
+// Blank is the blank tape symbol.
+const Blank Symbol = '_'
+
+// State is a control state. States 0..Q-1 are ordinary states; state 0 is
+// the start state. NoHead marks a table cell not owned by the head.
+type State int
+
+// NoHead marks the absence of the head in an execution-table cell.
+const NoHead State = -1
+
+// Move is a head movement.
+type Move int8
+
+// Head movements. Stay is permitted (it only appears on halting transitions
+// in the library machines, but the table rules support it generally).
+const (
+	Left  Move = -1
+	Stay  Move = 0
+	Right Move = 1
+)
+
+// String renders the move as L/S/R.
+func (m Move) String() string {
+	switch m {
+	case Left:
+		return "L"
+	case Stay:
+		return "S"
+	case Right:
+		return "R"
+	default:
+		return fmt.Sprintf("Move(%d)", int8(m))
+	}
+}
+
+// TransKey indexes the transition function: current state and read symbol.
+type TransKey struct {
+	State State
+	Read  Symbol
+}
+
+// Trans is one transition: write a symbol, move, enter the next state.
+type Trans struct {
+	Write Symbol
+	Move  Move
+	Next  State
+}
+
+// Machine is a deterministic single-tape Turing machine operating on a
+// one-way infinite tape, started on a blank tape with the head on cell 0 in
+// state 0. It halts upon entering Halt. The output of a halting run is the
+// symbol under the head in the halting configuration.
+type Machine struct {
+	Name    string
+	States  int // ordinary states are 0..States-1
+	Halt    State
+	Symbols []Symbol // tape alphabet; must contain Blank
+	Delta   map[TransKey]Trans
+}
+
+// Validate checks structural well-formedness: the alphabet contains Blank,
+// Halt is outside the ordinary state range, and Delta is total on ordinary
+// states and defined only there.
+func (m *Machine) Validate() error {
+	if m.States < 1 {
+		return fmt.Errorf("turing: machine %q has no states", m.Name)
+	}
+	if int(m.Halt) < m.States {
+		return fmt.Errorf("turing: machine %q halt state %d collides with ordinary states", m.Name, m.Halt)
+	}
+	hasBlank := false
+	seen := make(map[Symbol]struct{}, len(m.Symbols))
+	for _, s := range m.Symbols {
+		if _, dup := seen[s]; dup {
+			return fmt.Errorf("turing: machine %q duplicate symbol %q", m.Name, s)
+		}
+		seen[s] = struct{}{}
+		if s == Blank {
+			hasBlank = true
+		}
+	}
+	if !hasBlank {
+		return fmt.Errorf("turing: machine %q alphabet lacks blank", m.Name)
+	}
+	for q := State(0); int(q) < m.States; q++ {
+		for _, s := range m.Symbols {
+			tr, ok := m.Delta[TransKey{State: q, Read: s}]
+			if !ok {
+				return fmt.Errorf("turing: machine %q missing delta(%d, %q)", m.Name, q, s)
+			}
+			if _, okSym := seen[tr.Write]; !okSym {
+				return fmt.Errorf("turing: machine %q writes foreign symbol %q", m.Name, tr.Write)
+			}
+			if tr.Move != Left && tr.Move != Stay && tr.Move != Right {
+				return fmt.Errorf("turing: machine %q invalid move %d", m.Name, tr.Move)
+			}
+			if tr.Next != m.Halt && (tr.Next < 0 || int(tr.Next) >= m.States) {
+				return fmt.Errorf("turing: machine %q transitions to unknown state %d", m.Name, tr.Next)
+			}
+		}
+	}
+	for key := range m.Delta {
+		if key.State == m.Halt {
+			return fmt.Errorf("turing: machine %q defines a transition out of halt", m.Name)
+		}
+		if key.State < 0 || int(key.State) >= m.States {
+			return fmt.Errorf("turing: machine %q delta key for unknown state %d", m.Name, key.State)
+		}
+	}
+	return nil
+}
+
+// IsHalt reports whether q is the halting state.
+func (m *Machine) IsHalt(q State) bool { return q == m.Halt }
+
+// Encode serialises the machine into a deterministic string, used as the
+// (M, r) component of node labels in G(M, r).
+func (m *Machine) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tm{%s;Q=%d;H=%d;S=", m.Name, m.States, m.Halt)
+	for _, s := range m.Symbols {
+		b.WriteByte(byte(s))
+	}
+	b.WriteByte(';')
+	keys := make([]TransKey, 0, len(m.Delta))
+	for k := range m.Delta {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].State != keys[j].State {
+			return keys[i].State < keys[j].State
+		}
+		return keys[i].Read < keys[j].Read
+	})
+	for _, k := range keys {
+		tr := m.Delta[k]
+		fmt.Fprintf(&b, "d(%d,%c)=(%c,%s,%d);", k.State, k.Read, tr.Write, tr.Move, tr.Next)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ReachableByMove returns the set of states that some transition enters while
+// moving in the given direction. Fragment enumeration uses this to model a
+// head arriving from outside the fragment.
+func (m *Machine) ReachableByMove(mv Move) []State {
+	set := make(map[State]struct{})
+	for _, tr := range m.Delta {
+		if tr.Move == mv {
+			set[tr.Next] = struct{}{}
+		}
+	}
+	out := make([]State, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Library machines ------------------------------------------------------------
+
+// binaryAlphabet is the shared alphabet of the library machines.
+func binaryAlphabet() []Symbol { return []Symbol{Blank, '0', '1'} }
+
+// HaltWith returns a machine that immediately writes the given output symbol
+// and halts (runtime 1). It is the minimal member of L0 (out='0') or L1
+// (out='1').
+func HaltWith(out Symbol) *Machine {
+	m := &Machine{
+		Name:    fmt.Sprintf("halt-%c", out),
+		States:  1,
+		Halt:    1,
+		Symbols: binaryAlphabet(),
+		Delta:   map[TransKey]Trans{},
+	}
+	for _, s := range m.Symbols {
+		m.Delta[TransKey{State: 0, Read: s}] = Trans{Write: out, Move: Stay, Next: m.Halt}
+	}
+	return m
+}
+
+// Looper returns a machine that moves right forever (never halts).
+func Looper() *Machine {
+	m := &Machine{
+		Name:    "looper",
+		States:  1,
+		Halt:    1,
+		Symbols: binaryAlphabet(),
+		Delta:   map[TransKey]Trans{},
+	}
+	for _, s := range m.Symbols {
+		m.Delta[TransKey{State: 0, Read: s}] = Trans{Write: s, Move: Right, Next: 0}
+	}
+	return m
+}
+
+// Zigzag returns a machine that bounces between a left-edge marker and a
+// growing right frontier and never halts, exercising both head directions
+// indefinitely. The head never falls off the left tape end: cell 0 is marked
+// with '0' on the first step and acts as a bumper.
+func Zigzag() *Machine {
+	return &Machine{
+		Name:    "zigzag",
+		States:  3,
+		Halt:    3,
+		Symbols: binaryAlphabet(),
+		Delta: map[TransKey]Trans{
+			// State 0: initialise the left-edge marker.
+			{State: 0, Read: Blank}: {Write: '0', Move: Right, Next: 1},
+			{State: 0, Read: '0'}:   {Write: '0', Move: Right, Next: 1},
+			{State: 0, Read: '1'}:   {Write: '0', Move: Right, Next: 1},
+			// State 1: sweep right over written cells; extend at the frontier
+			// and turn around.
+			{State: 1, Read: Blank}: {Write: '1', Move: Left, Next: 2},
+			{State: 1, Read: '0'}:   {Write: '0', Move: Right, Next: 1},
+			{State: 1, Read: '1'}:   {Write: '1', Move: Right, Next: 1},
+			// State 2: sweep left over 1s; bounce off the edge marker.
+			{State: 2, Read: Blank}: {Write: '1', Move: Right, Next: 1},
+			{State: 2, Read: '0'}:   {Write: '0', Move: Right, Next: 1},
+			{State: 2, Read: '1'}:   {Write: '1', Move: Left, Next: 2},
+		},
+	}
+}
+
+// Counter returns a machine that makes exactly k right-moves writing 1s and
+// then halts writing out. Runtime is k+1 steps. It gives precise control over
+// runtimes in the promise-problem experiments.
+func Counter(k int, out Symbol) *Machine {
+	if k < 0 {
+		panic("turing: negative counter length")
+	}
+	m := &Machine{
+		Name:    fmt.Sprintf("counter-%d-%c", k, out),
+		States:  k + 1,
+		Halt:    State(k + 1),
+		Symbols: binaryAlphabet(),
+		Delta:   map[TransKey]Trans{},
+	}
+	for q := 0; q < k; q++ {
+		for _, s := range m.Symbols {
+			m.Delta[TransKey{State: State(q), Read: s}] = Trans{Write: '1', Move: Right, Next: State(q + 1)}
+		}
+	}
+	for _, s := range m.Symbols {
+		m.Delta[TransKey{State: State(k), Read: s}] = Trans{Write: out, Move: Stay, Next: m.Halt}
+	}
+	return m
+}
+
+// BusyBeaverish returns a small 2-state machine with a nontrivial halting
+// run that revisits cells (a shortened busy-beaver-style run).
+func BusyBeaverish() *Machine {
+	// Runs: writes 1s back and forth a few times, halts with output '1'.
+	return &Machine{
+		Name:    "busybeaverish",
+		States:  2,
+		Halt:    2,
+		Symbols: binaryAlphabet(),
+		Delta: map[TransKey]Trans{
+			{State: 0, Read: Blank}: {Write: '1', Move: Right, Next: 1},
+			{State: 0, Read: '0'}:   {Write: '1', Move: Right, Next: 1},
+			{State: 0, Read: '1'}:   {Write: '1', Move: Stay, Next: 2},
+			{State: 1, Read: Blank}: {Write: '1', Move: Left, Next: 0},
+			{State: 1, Read: '0'}:   {Write: '1', Move: Left, Next: 0},
+			{State: 1, Read: '1'}:   {Write: '1', Move: Right, Next: 1},
+		},
+	}
+}
+
+// Library returns the standard machine suite used across tests, examples and
+// benchmarks, each validated.
+func Library() []*Machine {
+	ms := []*Machine{
+		HaltWith('0'),
+		HaltWith('1'),
+		Looper(),
+		Zigzag(),
+		Counter(2, '0'), // runtime 3: table side 4, a power of two (pyramids)
+		Counter(3, '0'),
+		Counter(5, '1'),
+		Counter(6, '0'), // runtime 7: table side 8 (pyramids)
+		BusyBeaverish(),
+	}
+	for _, m := range ms {
+		if err := m.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	return ms
+}

@@ -1,0 +1,261 @@
+package turing
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLibraryValidates(t *testing.T) {
+	for _, m := range Library() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := HaltWith('0')
+	tests := []struct {
+		name   string
+		mutate func(m *Machine)
+		want   string
+	}{
+		{"no states", func(m *Machine) { m.States = 0 }, "no states"},
+		{"halt collides", func(m *Machine) { m.Halt = 0 }, "collides"},
+		{"no blank", func(m *Machine) { m.Symbols = []Symbol{'0', '1'} }, "lacks blank"},
+		{"duplicate symbol", func(m *Machine) { m.Symbols = append(m.Symbols, '0') }, "duplicate"},
+		{"missing delta", func(m *Machine) { delete(m.Delta, TransKey{State: 0, Read: '1'}) }, "missing delta"},
+		{"foreign write", func(m *Machine) {
+			m.Delta[TransKey{State: 0, Read: '0'}] = Trans{Write: 'X', Move: Stay, Next: m.Halt}
+		}, "foreign symbol"},
+		{"bad move", func(m *Machine) {
+			m.Delta[TransKey{State: 0, Read: '0'}] = Trans{Write: '0', Move: 5, Next: m.Halt}
+		}, "invalid move"},
+		{"unknown next", func(m *Machine) {
+			m.Delta[TransKey{State: 0, Read: '0'}] = Trans{Write: '0', Move: Stay, Next: 77}
+		}, "unknown state"},
+		{"transition out of halt", func(m *Machine) {
+			m.Delta[TransKey{State: m.Halt, Read: '0'}] = Trans{Write: '0', Move: Stay, Next: m.Halt}
+		}, "out of halt"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Machine{
+				Name:    base.Name,
+				States:  base.States,
+				Halt:    base.Halt,
+				Symbols: append([]Symbol(nil), base.Symbols...),
+				Delta:   make(map[TransKey]Trans, len(base.Delta)),
+			}
+			for k, v := range base.Delta {
+				m.Delta[k] = v
+			}
+			tc.mutate(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatalf("expected validation error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunHaltWith(t *testing.T) {
+	for _, out := range []Symbol{'0', '1'} {
+		m := HaltWith(out)
+		res, err := Run(m, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Halted || res.Steps != 1 || res.Output != out {
+			t.Errorf("HaltWith(%c): %+v", out, res)
+		}
+	}
+}
+
+func TestRunLooperAndZigzagNeverHalt(t *testing.T) {
+	for _, m := range []*Machine{Looper(), Zigzag()} {
+		res, err := Run(m, 500)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if res.Halted {
+			t.Errorf("%s halted unexpectedly after %d steps", m.Name, res.Steps)
+		}
+	}
+}
+
+func TestCounterRuntime(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 7} {
+		m := Counter(k, '0')
+		steps, ok := Runtime(m, 100)
+		if !ok {
+			t.Fatalf("Counter(%d) did not halt", k)
+		}
+		if steps != k+1 {
+			t.Errorf("Counter(%d) runtime = %d, want %d", k, steps, k+1)
+		}
+	}
+	res, err := Run(Counter(2, '1'), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != '1' {
+		t.Errorf("Counter output = %c, want 1", res.Output)
+	}
+}
+
+func TestBusyBeaverish(t *testing.T) {
+	m := BusyBeaverish()
+	res, err := Run(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.Output != '1' {
+		t.Errorf("BusyBeaverish: %+v", res)
+	}
+	if res.Steps < 3 {
+		t.Errorf("BusyBeaverish too fast: %d steps", res.Steps)
+	}
+}
+
+func TestOutputs0(t *testing.T) {
+	if ok, halted := Outputs0(HaltWith('0'), 10); !ok || !halted {
+		t.Error("halt-0 should be in L0")
+	}
+	if ok, halted := Outputs0(HaltWith('1'), 10); ok || !halted {
+		t.Error("halt-1 should be in L1, not L0")
+	}
+	if _, halted := Outputs0(Looper(), 10); halted {
+		t.Error("looper should exhaust the budget")
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	m := Counter(10, '0') // runtime 11
+	res, err := Run(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Error("should not halt within 5 steps")
+	}
+	res, err = Run(m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Error("should halt within exactly 11 steps")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := Counter(2, '0') // runtime 3: configs 0..3
+	configs, err := Trace(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 4 {
+		t.Fatalf("trace length = %d, want 4 (halting cuts it short)", len(configs))
+	}
+	if configs[0].State != 0 || configs[0].Head != 0 {
+		t.Error("trace does not start at the start configuration")
+	}
+	if !m.IsHalt(configs[3].State) {
+		t.Error("trace should end in the halting configuration")
+	}
+	// Looper: trace exactly as many rows as requested.
+	loopTrace, err := Trace(Looper(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loopTrace) != 7 {
+		t.Fatalf("looper trace length = %d, want 7", len(loopTrace))
+	}
+	if _, err := Trace(Looper(), 0); err == nil {
+		t.Error("rows < 1 should error")
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	m := HaltWith('0')
+	c := Config{State: m.Halt}
+	if _, err := c.Step(m); err == nil {
+		t.Error("stepping a halted configuration should error")
+	}
+	// A machine that immediately moves left falls off the tape.
+	bad := &Machine{
+		Name: "fall-left", States: 1, Halt: 1, Symbols: binaryAlphabet(),
+		Delta: map[TransKey]Trans{},
+	}
+	for _, s := range bad.Symbols {
+		bad.Delta[TransKey{State: 0, Read: s}] = Trans{Write: s, Move: Left, Next: 0}
+	}
+	if _, err := Run(bad, 10); err == nil {
+		t.Error("falling off the left end should error")
+	}
+}
+
+func TestEncodeDeterministicAndDistinct(t *testing.T) {
+	a1 := HaltWith('0').Encode()
+	a2 := HaltWith('0').Encode()
+	b := HaltWith('1').Encode()
+	if a1 != a2 {
+		t.Error("Encode not deterministic")
+	}
+	if a1 == b {
+		t.Error("different machines encode identically")
+	}
+	if !strings.Contains(a1, "halt-0") {
+		t.Errorf("encoding lacks name: %s", a1)
+	}
+}
+
+func TestReachableByMove(t *testing.T) {
+	m := Counter(2, '0')
+	right := m.ReachableByMove(Right)
+	// States 1, 2 are entered by right moves.
+	if len(right) != 2 || right[0] != 1 || right[1] != 2 {
+		t.Errorf("ReachableByMove(Right) = %v", right)
+	}
+	if left := m.ReachableByMove(Left); len(left) != 0 {
+		t.Errorf("ReachableByMove(Left) = %v, want empty", left)
+	}
+	stay := m.ReachableByMove(Stay)
+	if len(stay) != 1 || stay[0] != m.Halt {
+		t.Errorf("ReachableByMove(Stay) = %v, want [halt]", stay)
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	if Left.String() != "L" || Stay.String() != "S" || Right.String() != "R" {
+		t.Error("move strings wrong")
+	}
+	if Move(9).String() != "Move(9)" {
+		t.Error("unknown move rendering wrong")
+	}
+}
+
+func TestFormatConfig(t *testing.T) {
+	m := HaltWith('0')
+	s := FormatConfig(m, StartConfig(), 3)
+	if !strings.Contains(s, "q0") {
+		t.Errorf("FormatConfig lacks head marker: %q", s)
+	}
+	res, _ := Run(m, 10)
+	s = FormatConfig(m, res.Final, 3)
+	if !strings.Contains(s, "HALT") {
+		t.Errorf("FormatConfig lacks halt marker: %q", s)
+	}
+}
+
+func TestReadNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StartConfig().Read(-1)
+}

@@ -1,0 +1,141 @@
+package turing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for every counter length, the execution table built from the
+// run passes its own validity check, and its output matches the direct
+// simulation.
+func TestTableValidityProperty_Quick(t *testing.T) {
+	property := func(raw uint8) bool {
+		k := int(raw % 12)
+		for _, out := range []Symbol{'0', '1'} {
+			m := Counter(k, out)
+			tab, err := BuildTable(m, 100)
+			if err != nil {
+				return false
+			}
+			if tab.Check() != nil {
+				return false
+			}
+			got, err := tab.Output()
+			if err != nil || got != out {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with fully known (or wall) horizontal context, the window
+// relation is deterministic — at most one successor cell.
+func TestWindowDeterminismProperty_Quick(t *testing.T) {
+	machines := []*Machine{HaltWith('0'), Counter(3, '1'), BusyBeaverish(), Zigzag()}
+	property := func(mi, li, ci, ri uint8, leftWall, rightWall bool) bool {
+		m := machines[int(mi)%len(machines)]
+		domain := cellDomain(m)
+		mid := domain[int(ci)%len(domain)]
+		left := WallNeighbor()
+		if !leftWall {
+			left = KnownNeighbor(domain[int(li)%len(domain)])
+		}
+		right := WallNeighbor()
+		if !rightWall {
+			right = KnownNeighbor(domain[int(ri)%len(domain)])
+		}
+		return len(NextCells(m, left, mid, right)) <= 1
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unknown context can only ADD options relative to Wall context
+// (the fragment rules are a relaxation of the table rules).
+func TestUnknownRelaxesWallProperty_Quick(t *testing.T) {
+	machines := []*Machine{HaltWith('0'), Counter(2, '0'), Zigzag()}
+	property := func(mi, li, ci, ri uint8) bool {
+		m := machines[int(mi)%len(machines)]
+		domain := cellDomain(m)
+		mid := domain[int(ci)%len(domain)]
+		left := KnownNeighbor(domain[int(li)%len(domain)])
+		right := KnownNeighbor(domain[int(ri)%len(domain)])
+
+		walled := NextCells(m, left, mid, WallNeighbor())
+		open := NextCells(m, left, mid, UnknownNeighbor())
+		for _, w := range walled {
+			found := false
+			for _, o := range open {
+				if o == w {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		_ = right
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated fragment passes its own consistency check, and
+// enumeration is deterministic.
+func TestEnumerationSelfConsistencyProperty_Quick(t *testing.T) {
+	property := func(raw uint8) bool {
+		dims := []struct{ h, w int }{{2, 2}, {2, 3}, {3, 2}}
+		d := dims[int(raw)%len(dims)]
+		a := EnumerateFragments(BusyBeaverish(), d.h, d.w, 40)
+		b := EnumerateFragments(BusyBeaverish(), d.h, d.w, 40)
+		if len(a.Fragments) != len(b.Fragments) {
+			return false
+		}
+		for i := range a.Fragments {
+			if a.Fragments[i].Key() != b.Fragments[i].Key() {
+				return false
+			}
+			if a.Fragments[i].Consistent() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 9}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gluing variants are never empty, always connected, and only
+// ever widen the actual non-natural border set.
+func TestGluingVariantsProperty_Quick(t *testing.T) {
+	res := EnumerateFragments(Counter(2, '0'), 3, 3, 300)
+	property := func(raw uint16) bool {
+		f := res.Fragments[int(raw)%len(res.Fragments)]
+		actual := f.ActualBorderSpec()
+		variants := f.GluingVariants()
+		if len(variants) == 0 {
+			return false
+		}
+		for _, v := range variants {
+			if !f.BorderConnected(v) {
+				return false
+			}
+			// Widening only: every actually non-natural border stays marked.
+			if actual.Left && !v.Left || actual.Right && !v.Right || actual.Bottom && !v.Bottom {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

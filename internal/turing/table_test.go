@@ -1,0 +1,257 @@
+package turing
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustTable(t *testing.T, m *Machine) *Table {
+	t.Helper()
+	tab, err := BuildTable(m, 10000)
+	if err != nil {
+		t.Fatalf("BuildTable(%s): %v", m.Name, err)
+	}
+	return tab
+}
+
+func TestBuildTableShape(t *testing.T) {
+	tests := []struct {
+		m    *Machine
+		side int // runtime+1
+	}{
+		{HaltWith('0'), 2},
+		{Counter(3, '0'), 5},
+		{BusyBeaverish(), 4},
+	}
+	for _, tc := range tests {
+		tab := mustTable(t, tc.m)
+		if tab.Height() != tc.side || tab.Width() != tc.side {
+			t.Errorf("%s: table %dx%d, want %dx%d",
+				tc.m.Name, tab.Height(), tab.Width(), tc.side, tc.side)
+		}
+	}
+}
+
+func TestBuildTableNonHalting(t *testing.T) {
+	if _, err := BuildTable(Looper(), 50); err == nil {
+		t.Fatal("BuildTable should fail for a non-halting machine")
+	}
+}
+
+func TestTableCheckAndOutput(t *testing.T) {
+	for _, m := range []*Machine{HaltWith('0'), HaltWith('1'), Counter(4, '1'), BusyBeaverish()} {
+		tab := mustTable(t, m)
+		if err := tab.Check(); err != nil {
+			t.Errorf("%s: valid table rejected: %v", m.Name, err)
+		}
+		out, err := tab.Output()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		res, _ := Run(m, 10000)
+		if out != res.Output {
+			t.Errorf("%s: table output %c, run output %c", m.Name, out, res.Output)
+		}
+	}
+}
+
+// Failure injection: corrupting any aspect of a valid table must be caught.
+func TestTableCheckRejectsCorruption(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(tab *Table)
+		want    string
+	}{
+		{"wrong start symbol", func(tab *Table) {
+			tab.Rows[0][1] = Cell{Sym: '1', State: NoHead}
+		}, "start configuration"},
+		{"start head misplaced", func(tab *Table) {
+			tab.Rows[0][0] = Cell{Sym: Blank, State: NoHead}
+			tab.Rows[0][1] = Cell{Sym: Blank, State: 0}
+		}, "start configuration"},
+		{"symbol teleports", func(tab *Table) {
+			tab.Rows[2][tab.Width()-1] = Cell{Sym: '1', State: NoHead}
+		}, "window violation"},
+		{"head duplicated", func(tab *Table) {
+			tab.Rows[2][tab.Width()-1] = Cell{Sym: Blank, State: 0}
+		}, ""},
+		{"head vanishes", func(tab *Table) {
+			for x := 0; x < tab.Width(); x++ {
+				c := tab.Rows[2][x]
+				c.State = NoHead
+				tab.Rows[2][x] = c
+			}
+		}, ""},
+		{"early halt", func(tab *Table) {
+			for x := 0; x < tab.Width(); x++ {
+				if tab.Rows[1][x].HasHead() {
+					c := tab.Rows[1][x]
+					c.State = tab.Machine.Halt
+					tab.Rows[1][x] = c
+				}
+			}
+		}, ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := mustTable(t, Counter(4, '0'))
+			tc.corrupt(tab)
+			err := tab.Check()
+			if err == nil {
+				t.Fatal("corrupted table accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPartialTable(t *testing.T) {
+	// Looper: 6 rows, 4 cols — never halts, must still lay out fine.
+	tab, err := PartialTable(Looper(), 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Height() != 6 || tab.Width() != 4 {
+		t.Fatalf("partial table %dx%d", tab.Height(), tab.Width())
+	}
+	// Head marches right: row i has head at column i (while in range).
+	for y := 0; y < 4; y++ {
+		if tab.Rows[y][y].State != 0 {
+			t.Errorf("row %d: head not at column %d", y, y)
+		}
+	}
+	// Rows 4, 5: head out of the window; no head cells.
+	for _, y := range []int{4, 5} {
+		for x := 0; x < 4; x++ {
+			if tab.Rows[y][x].HasHead() {
+				t.Errorf("row %d col %d: unexpected head", y, x)
+			}
+		}
+	}
+	// A halting machine: frozen rows repeat after the halt.
+	htab, err := PartialTable(HaltWith('0'), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 1; y < 5; y++ {
+		if htab.Rows[y][0] != (Cell{Sym: '0', State: HaltWith('0').Halt}) {
+			t.Errorf("row %d: frozen halting cell missing: %+v", y, htab.Rows[y][0])
+		}
+	}
+}
+
+func TestNextCellsBasics(t *testing.T) {
+	m := Counter(1, '0') // state 0 -R-> state 1; state 1 -S-> halt writing 0
+	headStart := Cell{Sym: Blank, State: 0}
+	noHead := Cell{Sym: Blank, State: NoHead}
+
+	// Below a right-moving head: symbol written, head gone.
+	below := NextCells(m, WallNeighbor(), headStart, KnownNeighbor(noHead))
+	if len(below) != 1 || below[0] != (Cell{Sym: '1', State: NoHead}) {
+		t.Errorf("below right-moving head: %v", below)
+	}
+	// Cell right of a right-moving head: receives the head in state 1.
+	recv := NextCells(m, KnownNeighbor(headStart), noHead, WallNeighbor())
+	if len(recv) != 1 || recv[0] != (Cell{Sym: Blank, State: 1}) {
+		t.Errorf("arrival cell: %v", recv)
+	}
+	// Stay transition into halt: state 1 writes '0', stays, halts.
+	stay := NextCells(m, WallNeighbor(), Cell{Sym: Blank, State: 1}, WallNeighbor())
+	if len(stay) != 1 || stay[0] != (Cell{Sym: '0', State: m.Halt}) {
+		t.Errorf("stay-halt cell: %v", stay)
+	}
+	// Halted cells freeze.
+	frozen := NextCells(m, WallNeighbor(), Cell{Sym: '0', State: m.Halt}, WallNeighbor())
+	if len(frozen) != 1 || frozen[0] != (Cell{Sym: '0', State: m.Halt}) {
+		t.Errorf("frozen cell: %v", frozen)
+	}
+	// Plain cell with quiet neighbours: unchanged.
+	quiet := NextCells(m, KnownNeighbor(noHead), Cell{Sym: '1', State: NoHead}, KnownNeighbor(noHead))
+	if len(quiet) != 1 || quiet[0] != (Cell{Sym: '1', State: NoHead}) {
+		t.Errorf("quiet cell: %v", quiet)
+	}
+}
+
+func TestNextCellsCollisionsAndUnknowns(t *testing.T) {
+	// A machine with both left and right moves: zigzag.
+	m := Zigzag()
+	rightMover := Cell{Sym: '0', State: 1} // state 1 on '0' moves right
+	leftMover := Cell{Sym: '1', State: 2}  // state 2 on '1' moves left
+	mid := Cell{Sym: '0', State: NoHead}
+
+	// Two heads converging on the same cell: inconsistent.
+	collide := NextCells(m, KnownNeighbor(rightMover), mid, KnownNeighbor(leftMover))
+	if len(collide) != 0 {
+		t.Errorf("collision should be inconsistent, got %v", collide)
+	}
+	// Head running into a halted cell: inconsistent.
+	halted := Cell{Sym: '0', State: m.Halt}
+	intoHalt := NextCells(m, KnownNeighbor(rightMover), halted, KnownNeighbor(mid))
+	if len(intoHalt) != 0 {
+		t.Errorf("arrival into halted cell should be inconsistent, got %v", intoHalt)
+	}
+	// Unknown side: a head may or may not arrive.
+	open := NextCells(m, UnknownNeighbor(), mid, KnownNeighbor(mid))
+	if len(open) < 2 {
+		t.Errorf("unknown left side should allow arrivals: %v", open)
+	}
+	foundNoHead := false
+	for _, c := range open {
+		if c.State == NoHead {
+			foundNoHead = true
+		}
+		if c.Sym != '0' {
+			t.Errorf("arrival changed the symbol: %v", c)
+		}
+	}
+	if !foundNoHead {
+		t.Error("no-arrival option missing")
+	}
+	// Wall side: no arrivals.
+	walled := NextCells(m, WallNeighbor(), mid, KnownNeighbor(mid))
+	if len(walled) != 1 || walled[0].State != NoHead {
+		t.Errorf("wall side should forbid arrivals: %v", walled)
+	}
+}
+
+func TestCellLabelRoundTrip(t *testing.T) {
+	c := Cell{Sym: '1', State: 2}
+	label := c.Label(1, 2)
+	got, x3, y3, err := ParseCellLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c || x3 != 1 || y3 != 2 {
+		t.Errorf("round trip: %+v (%d,%d)", got, x3, y3)
+	}
+	if _, _, _, err := ParseCellLabel("nonsense"); err == nil {
+		t.Error("bad label accepted")
+	}
+}
+
+func TestSubGrid(t *testing.T) {
+	tab := mustTable(t, Counter(3, '0')) // 5x5
+	sub := tab.SubGrid(1, 1, 2, 3)
+	if len(sub) != 2 || len(sub[0]) != 3 {
+		t.Fatalf("subgrid shape %dx%d", len(sub), len(sub[0]))
+	}
+	if sub[0][0] != tab.Rows[1][1] {
+		t.Error("subgrid content wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range subgrid should panic")
+		}
+	}()
+	tab.SubGrid(4, 4, 3, 3)
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := mustTable(t, HaltWith('0'))
+	s := tab.Format()
+	if !strings.Contains(s, "!") {
+		t.Errorf("format lacks halt marker:\n%s", s)
+	}
+}

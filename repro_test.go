@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// The characterisation (Table 1 as code) must reference experiments that
+// actually exist, and the separation pattern must match the paper.
+func TestCharacterizationWiredToExperiments(t *testing.T) {
+	for _, q := range core.Characterization() {
+		exp, ok := experiments.Find(q.Experiment)
+		if !ok {
+			t.Errorf("%s references unknown experiment %s", q.Assumption, q.Experiment)
+			continue
+		}
+		if exp.Run == nil {
+			t.Errorf("%s experiment %s has no runner", q.Assumption, q.Experiment)
+		}
+	}
+	if !core.Separated(core.Assumption{BoundedIDs: true, Computable: true}) {
+		t.Error("(B, C) must separate")
+	}
+	if core.Separated(core.Assumption{}) {
+		t.Error("(¬B, ¬C) must not separate")
+	}
+}
+
+// End-to-end: the four quadrant experiments run green in quick mode and the
+// printed table shows the paper's pattern.
+func TestQuadrantExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four construction experiments")
+	}
+	cfg := experiments.Config{Quick: true, Seed: 5}
+	for _, q := range core.Characterization() {
+		exp, ok := experiments.Find(q.Experiment)
+		if !ok {
+			t.Fatalf("experiment %s missing", q.Experiment)
+		}
+		res, err := exp.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s (%s): %v", q.Experiment, q.Assumption, err)
+		}
+		if !res.OK {
+			t.Errorf("%s (%s) reported ATTENTION:\n%s",
+				q.Experiment, q.Assumption, experiments.Render(res))
+		}
+	}
+	table := core.TableString()
+	if !strings.Contains(table, "≠") || !strings.Contains(table, "=") {
+		t.Errorf("table rendering suspicious:\n%s", table)
+	}
+}
