@@ -1,0 +1,111 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/halting"
+	"repro/internal/local"
+	"repro/internal/props"
+	"repro/internal/turing"
+)
+
+// Engine-vs-seed benchmarks at reproduction scale: the acceptance bar for
+// the unified engine is >= 2x over the seed per-node extraction path on a
+// structured instance at n >= 10^4, plus the large Section 3 halting
+// instances that motivated the batching in the first place.
+
+// seedEval is the seed-era evaluation loop: one map-backed view extraction
+// (Ball + InducedSubgraph) per node, fresh allocations throughout.
+func seedEval(alg local.ObliviousAlgorithm, l *graph.Labeled) bool {
+	accepted := true
+	for v := 0; v < l.N(); v++ {
+		if !bool(alg.DecideOblivious(graph.ObliviousViewOf(l, v, alg.Horizon()))) {
+			accepted = false
+		}
+	}
+	return accepted
+}
+
+func BenchmarkCycle10kSeedPath(b *testing.B) {
+	l := graph.UniformlyLabeled(graph.Cycle(10000), "")
+	alg := props.BoundedDegreeVerifier(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !seedEval(alg, l) {
+			b.Fatal("cycle is 2-regular")
+		}
+	}
+}
+
+func BenchmarkCycle10kEngine(b *testing.B) {
+	l := graph.UniformlyLabeled(graph.Cycle(10000), "")
+	dec := local.EngineObliviousDecider(props.BoundedDegreeVerifier(2))
+	for _, tc := range []struct {
+		name string
+		opts engine.Options
+	}{
+		{"sequential", engine.Options{}},
+		{"sharded", engine.Options{Scheduler: engine.Sharded}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !engine.EvalOblivious(dec, l, tc.opts).Accepted {
+					b.Fatal("cycle is 2-regular")
+				}
+			}
+		})
+	}
+}
+
+// The Section 3 halting instance G(M, r): the structure verifier sweeps
+// every node's radius-2 view, which is the hot loop of experiments E1, E7
+// and E10.
+var haltingBench struct {
+	once sync.Once
+	p    halting.Params
+	asm  *halting.Assembly
+	err  error
+}
+
+func haltingInstance(b *testing.B) (halting.Params, *halting.Assembly) {
+	haltingBench.once.Do(func() {
+		haltingBench.p = halting.Params{
+			Machine: turing.Counter(6, '0'), R: 1, MaxSteps: 500, FragmentLimit: 40,
+		}
+		haltingBench.asm, haltingBench.err = haltingBench.p.BuildG()
+	})
+	if haltingBench.err != nil {
+		b.Fatal(haltingBench.err)
+	}
+	return haltingBench.p, haltingBench.asm
+}
+
+func BenchmarkHaltingStructureSeedPath(b *testing.B) {
+	p, asm := haltingInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seedEval(p.StructureVerifier(), asm.Labeled)
+	}
+}
+
+func BenchmarkHaltingStructureEngine(b *testing.B) {
+	p, asm := haltingInstance(b)
+	dec := local.EngineObliviousDecider(p.StructureVerifier())
+	for _, tc := range []struct {
+		name string
+		opts engine.Options
+	}{
+		{"sequential", engine.Options{}},
+		{"sharded", engine.Options{Scheduler: engine.Sharded}},
+		{"sharded-earlyexit", engine.Options{Scheduler: engine.Sharded, EarlyExit: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.EvalOblivious(dec, asm.Labeled, tc.opts)
+			}
+		})
+	}
+}

@@ -1,15 +1,18 @@
 // Command localsim runs a local decision algorithm on a generated instance
 // and prints the per-node verdicts: a small driver for the LOCAL-model
-// simulator.
+// evaluation engine.
 //
 // Usage:
 //
 //	localsim -graph cycle -n 8 -decider 3col
-//	localsim -graph star -n 6 -decider degree2 -mp
+//	localsim -graph cycle -n 1000 -decider degree2 -backend sharded -dedup
+//	localsim -graph star -n 6 -decider degree2 -backend mp
 //
 // Graphs: cycle, path, star, grid (rows x cols ~ n x 4), tree (depth n).
 // Deciders: 3col (labels random colours), mis (labels random bits),
 // degree2, triangle-free.
+// Backends: sequential (default), sharded (worker pool), mp (goroutine
+// message passing). -dedup decides each distinct canonical view once.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/props"
@@ -35,9 +39,17 @@ func run(args []string) error {
 	n := fs.Int("n", 8, "size parameter")
 	deciderName := fs.String("decider", "3col", "3col | mis | degree2 | triangle-free")
 	seed := fs.Int64("seed", 1, "label seed")
-	useMP := fs.Bool("mp", false, "run on the goroutine message-passing runtime")
+	backend := fs.String("backend", "sequential", "sequential | sharded | mp")
+	dedup := fs.Bool("dedup", false, "decide each distinct canonical view once")
+	useMP := fs.Bool("mp", false, "shorthand for -backend mp")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *useMP {
+		if *backend != "sequential" && *backend != "mp" && *backend != "message-passing" {
+			return fmt.Errorf("conflicting flags: -mp and -backend %s", *backend)
+		}
+		*backend = "mp"
 	}
 
 	g, err := buildGraph(*graphKind, *n)
@@ -48,15 +60,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	var out local.Outcome
-	if *useMP {
-		out = local.RunMessagePassingOblivious(alg, l)
-	} else {
-		out = local.RunOblivious(alg, l)
+	sched, err := buildScheduler(*backend)
+	if err != nil {
+		return err
 	}
 
-	fmt.Printf("graph=%s n=%d decider=%s runtime=%s\n", *graphKind, l.N(), alg.Name(), runtimeName(*useMP))
+	out := engine.EvalOblivious(local.EngineObliviousDecider(alg), l,
+		engine.Options{Scheduler: sched, Dedup: *dedup})
+
+	fmt.Printf("graph=%s n=%d decider=%s backend=%s\n", *graphKind, l.N(), alg.Name(), out.Stats.Scheduler)
 	for v := 0; v < l.N(); v++ {
 		fmt.Printf("  node %3d  label=%-8q  verdict=%s\n", v, l.Labels[v], out.Verdicts[v])
 	}
@@ -65,14 +77,33 @@ func run(args []string) error {
 	} else {
 		fmt.Println("globally REJECTED (some node said no)")
 	}
+	s := out.Stats
+	isMP := s.Scheduler == engine.MessagePassing.Name()
+	fmt.Printf("engine: workers=%d evaluated=%d", s.Workers, s.Evaluated)
+	if *dedup && !isMP {
+		fmt.Printf(" dedupHits=%d distinctViews=%d", s.DedupHits, s.DistinctViews)
+	}
+	if isMP {
+		fmt.Printf(" rounds=%d messages=%d knowledgeUnits=%d", s.Rounds, s.Messages, s.KnowledgeUnits)
+	}
+	fmt.Println()
+	if *dedup && isMP {
+		fmt.Println("note: the message-passing backend assembles every view operationally and never deduplicates; -dedup had no effect")
+	}
 	return nil
 }
 
-func runtimeName(mp bool) string {
-	if mp {
-		return "message-passing"
+func buildScheduler(name string) (engine.Scheduler, error) {
+	switch name {
+	case "sequential":
+		return engine.Sequential, nil
+	case "sharded":
+		return engine.Sharded, nil
+	case "mp", "message-passing":
+		return engine.MessagePassing, nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q", name)
 	}
-	return "view-based"
 }
 
 func buildGraph(kind string, n int) (*graph.Graph, error) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/local"
@@ -128,13 +129,16 @@ func UnboundedIDs(seed int64) IDProvider {
 
 // VerifyLD exercises an ID-using algorithm as an LD decider for property p on
 // the suite: every yes-instance must be accepted under every tried
-// assignment, every no-instance rejected under every tried assignment.
+// assignment, every no-instance rejected under every tried assignment. Only
+// global acceptance matters here, so the engine evaluates with early exit —
+// the first rejecting node settles an instance.
 func VerifyLD(alg local.Algorithm, s *Suite, provider IDProvider, trials int) *Report {
 	r := &Report{Decider: alg.Name(), Suite: s.Name}
+	dec := local.EngineDecider(alg)
 	run := func(l *graph.Labeled, wantAccept bool, tag string, idx int) bool {
 		for trial := 0; trial < trials; trial++ {
 			in := graph.NewInstance(l, provider(l.N(), trial))
-			out := local.Run(alg, in)
+			out := engine.Eval(dec, in, engine.Options{EarlyExit: true})
 			if out.Accepted != wantAccept {
 				r.Failures = append(r.Failures, fmt.Sprintf(
 					"%s-instance %d trial %d: accepted=%v want %v", tag, idx, trial, out.Accepted, wantAccept))
@@ -159,12 +163,18 @@ func VerifyLD(alg local.Algorithm, s *Suite, provider IDProvider, trials int) *R
 }
 
 // VerifyLDStar exercises an Id-oblivious algorithm on the suite (no
-// identifiers exist anywhere on this path).
+// identifiers exist anywhere on this path), early-exiting on the first
+// reject. Deduplication stays off here on purpose: this harness exists to
+// probe candidate deciders, including ill-behaved ones whose verdicts are
+// not invariant under the view's internal numbering — sharing verdicts
+// across isomorphic views would mask exactly that defect.
 func VerifyLDStar(alg local.ObliviousAlgorithm, s *Suite) *Report {
 	r := &Report{Decider: alg.Name(), Suite: s.Name}
+	dec := local.EngineObliviousDecider(alg)
+	opts := engine.Options{EarlyExit: true}
 	for i, l := range s.Yes {
 		r.YesTotal++
-		if out := local.RunOblivious(alg, l); out.Accepted {
+		if out := engine.EvalOblivious(dec, l, opts); out.Accepted {
 			r.YesPassed++
 		} else {
 			r.Failures = append(r.Failures, fmt.Sprintf("yes-instance %d rejected", i))
@@ -172,7 +182,7 @@ func VerifyLDStar(alg local.ObliviousAlgorithm, s *Suite) *Report {
 	}
 	for i, l := range s.No {
 		r.NoTotal++
-		if out := local.RunOblivious(alg, l); !out.Accepted {
+		if out := engine.EvalOblivious(dec, l, opts); !out.Accepted {
 			r.NoPassed++
 		} else {
 			r.Failures = append(r.Failures, fmt.Sprintf("no-instance %d accepted", i))
@@ -242,10 +252,13 @@ func SplitCertLabel(lab graph.Label) (graph.Label, graph.Label) {
 }
 
 // RunNLD evaluates a verifier on a labelled graph under a given certificate.
+// Like VerifyLDStar, it keeps deduplication off: NLD soundness probing runs
+// arbitrary candidate verifiers, and verdict sharing would hide
+// numbering-sensitive ones.
 func RunNLD(v NLDVerifier, l *graph.Labeled, cert Certificate) local.Outcome {
 	extended := WithCertificates(l, cert)
-	alg := local.ObliviousFunc(v.Name(), v.Horizon(), v.Verify)
-	return local.RunOblivious(alg, extended)
+	dec := engine.Decider{Name: v.Name(), Horizon: v.Horizon(), Decide: v.Verify}
+	return engine.EvalOblivious(dec, extended, engine.Options{})
 }
 
 // BPLD ---------------------------------------------------------------------------

@@ -1,0 +1,216 @@
+// Package engine is the single evaluation pipeline behind every decision
+// runner in the repository. All of the paper's results — the LD vs LD*
+// separations, NLD certificate checking, BPLD sampling — reduce to one
+// operation: evaluate a local verdict on the radius-t view of every node of
+// an instance and aggregate by unanimity. The engine implements that
+// operation once, well:
+//
+//   - batched view extraction through graph.ViewExtractor, reusing per-worker
+//     frontier and subgraph scratch buffers instead of allocating per node;
+//   - optional canonical-view deduplication: structurally identical views
+//     (ubiquitous on cycles, layered trees T_r and the pyramid instances) are
+//     decided once and the verdict shared;
+//   - early-exit aggregation: LOCAL acceptance is all-accept, so in
+//     accept-only evaluations the first reject cancels all outstanding work;
+//   - pluggable schedulers — Sequential, Sharded (worker pool) and
+//     MessagePassing (the fidelity-preserving goroutine-per-node flooding
+//     runtime) — all guaranteed to produce identical per-node verdicts,
+//     which the parity suite enforces.
+//
+// The higher layers (internal/local, internal/decide, internal/experiments,
+// cmd/localsim) are thin adapters over Eval and EvalOblivious.
+package engine
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Verdict is a node's local output in a decision task.
+type Verdict bool
+
+// Local outputs. A property holds globally iff every node says Yes; it fails
+// iff at least one node says No.
+const (
+	Yes Verdict = true
+	No  Verdict = false
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	if v == Yes {
+		return "yes"
+	}
+	return "no"
+}
+
+// Decider is the engine's uniform per-view verdict function. Exactly one of
+// Decide and DecideRand must be set; DecideRand additionally receives the
+// node's private coin stream (derived deterministically from Options.Seed and
+// the node index, so scheduler choice never changes coins).
+type Decider struct {
+	// Name identifies the decider in reports.
+	Name string
+	// Horizon is the constant local horizon t.
+	Horizon int
+	// UsesIDs documents that the decider reads view.IDs. It is advisory —
+	// identifiers are present on a view iff the evaluation carries them —
+	// but lets call sites state intent.
+	UsesIDs bool
+	// Decide maps a view to a verdict. Deciders must be deterministic
+	// functions of the view (up to isomorphism of the view's internal
+	// numbering, per the LOCAL model).
+	Decide func(view *graph.View) Verdict
+	// DecideRand is the randomized variant; when set it takes precedence
+	// over Decide and disables view deduplication (coins differ per node).
+	DecideRand func(view *graph.View, rng *rand.Rand) Verdict
+}
+
+// Outcome is the result of evaluating a decider on an instance.
+type Outcome struct {
+	// Verdicts holds the per-node verdicts, indexed by node. It is nil when
+	// the evaluation ran with Options.EarlyExit: early exit trades per-node
+	// output for the right to stop at the first reject.
+	Verdicts []Verdict
+	// Accepted is true iff every node output Yes.
+	Accepted bool
+	// Stats reports how the engine got there.
+	Stats Stats
+}
+
+// Stats is the engine's cost accounting for one evaluation.
+type Stats struct {
+	// Scheduler is the backend that ran the evaluation.
+	Scheduler string
+	// Nodes is the instance size.
+	Nodes int
+	// Evaluated counts decider invocations; with deduplication or early
+	// exit it can be far below Nodes.
+	Evaluated int
+	// DedupHits counts verdicts served from the canonical-view cache.
+	DedupHits int
+	// DistinctViews is the number of distinct canonical view codes seen
+	// (0 when deduplication is off).
+	DistinctViews int
+	// Workers is the number of concurrent workers used.
+	Workers int
+	// EarlyExit reports whether evaluation stopped before covering all
+	// nodes.
+	EarlyExit bool
+	// Messages and KnowledgeUnits are filled by the MessagePassing backend:
+	// point-to-point sends and total snapshot sizes of the flooding
+	// protocol.
+	Messages       int
+	KnowledgeUnits int
+	// Rounds is the number of synchronous rounds of the MessagePassing
+	// backend (equal to the horizon).
+	Rounds int
+}
+
+// Options tune one evaluation.
+type Options struct {
+	// Scheduler selects the backend; nil means Sequential.
+	Scheduler Scheduler
+	// Dedup enables canonical-view deduplication. It applies only to
+	// deterministic deciders on identifier-free evaluations (identifiers
+	// make views per-node unique, coins make verdicts per-node unique);
+	// the engine silently skips it otherwise. Views larger than an internal
+	// threshold are also decided directly — canonical codes of large
+	// symmetric views (the Section 3 pivot neighbourhoods) are far more
+	// expensive than the verdicts they would save. The MessagePassing
+	// backend never deduplicates: it assembles every node's view
+	// operationally by design.
+	//
+	// Sharing a verdict across isomorphic views assumes the decider is a
+	// function of the view's isomorphism class (the LOCAL model's contract;
+	// see Decider.Decide). Verification harnesses probing possibly
+	// ill-behaved deciders should leave dedup off.
+	Dedup bool
+	// EarlyExit lets the engine stop at the first No verdict. The Outcome
+	// then carries no per-node verdicts.
+	EarlyExit bool
+	// Seed drives the per-node coin streams of randomized deciders.
+	Seed int64
+}
+
+// Eval evaluates a decider on every node of an identifier-carrying instance.
+func Eval(dec Decider, in *graph.Instance, opts Options) Outcome {
+	return newJob(dec, in.Labeled, in, opts).run()
+}
+
+// EvalOblivious evaluates a decider on every node of a labelled graph with no
+// identifiers anywhere — the Id-oblivious regime.
+func EvalOblivious(dec Decider, l *graph.Labeled, opts Options) Outcome {
+	return newJob(dec, l, nil, opts).run()
+}
+
+// job is one evaluation in flight: the resolved inputs plus the output
+// buffers the scheduler fills.
+type job struct {
+	dec  Decider
+	l    *graph.Labeled
+	in   *graph.Instance // nil for oblivious evaluation
+	opts Options
+
+	n        int
+	dedup    bool // resolved: requested and sound for this decider/input
+	verdicts []Verdict
+	stats    Stats
+}
+
+func newJob(dec Decider, l *graph.Labeled, in *graph.Instance, opts Options) *job {
+	if (dec.Decide == nil) == (dec.DecideRand == nil) {
+		panic("engine: exactly one of Decide and DecideRand must be set")
+	}
+	if dec.Horizon < 0 {
+		panic("engine: negative horizon")
+	}
+	j := &job{
+		dec:   dec,
+		l:     l,
+		in:    in,
+		opts:  opts,
+		n:     l.N(),
+		dedup: opts.Dedup && in == nil && dec.DecideRand == nil,
+	}
+	j.stats.Nodes = j.n
+	if !opts.EarlyExit {
+		j.verdicts = make([]Verdict, j.n)
+	}
+	return j
+}
+
+// run dispatches to the scheduler and assembles the outcome.
+func (j *job) run() Outcome {
+	sched := j.opts.Scheduler
+	if sched == nil {
+		sched = Sequential
+	}
+	j.stats.Scheduler = sched.Name()
+	if j.n == 0 {
+		j.stats.Workers = 0
+		return Outcome{Verdicts: j.verdicts, Accepted: true, Stats: j.stats}
+	}
+	accepted := sched.run(j)
+	return Outcome{Verdicts: j.verdicts, Accepted: accepted, Stats: j.stats}
+}
+
+// extractor builds the per-worker batched view extractor for this job.
+func (j *job) extractor() *graph.ViewExtractor {
+	if j.in != nil {
+		return graph.NewInstanceViewExtractor(j.in)
+	}
+	return graph.NewViewExtractor(j.l)
+}
+
+// decideView invokes the decider on one view, deriving the node's coin
+// stream when the decider is randomized. The derivation matches the
+// historical local.RunRandomized exactly, so seeds keep their meaning.
+func (j *job) decideView(view *graph.View, v int) Verdict {
+	if j.dec.DecideRand != nil {
+		rng := rand.New(rand.NewSource(j.opts.Seed ^ (int64(v+1) * 0x9e3779b97f4a7c)))
+		return j.dec.DecideRand(view, rng)
+	}
+	return j.dec.Decide(view)
+}

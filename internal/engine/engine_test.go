@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func degreeAtMost(k int) Decider {
+	return Decider{
+		Name:    "deg<=k",
+		Horizon: 1,
+		Decide: func(view *graph.View) Verdict {
+			return Verdict(view.G.Degree(view.Root) <= k)
+		},
+	}
+}
+
+func TestEmptyGraphAcceptsVacuously(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.New(0), "")
+	for _, sched := range []Scheduler{Sequential, Sharded, MessagePassing} {
+		out := EvalOblivious(degreeAtMost(0), l, Options{Scheduler: sched})
+		if !out.Accepted {
+			t.Errorf("%s: empty graph should accept vacuously", sched.Name())
+		}
+	}
+}
+
+func TestDedupOnCycle(t *testing.T) {
+	// Every node of a uniformly labelled cycle has the same radius-2 view:
+	// one decide call, n-1 cache hits.
+	l := graph.UniformlyLabeled(graph.Cycle(200), "c")
+	var calls atomic.Int64
+	dec := Decider{Name: "count", Horizon: 2, Decide: func(view *graph.View) Verdict {
+		calls.Add(1)
+		return Yes
+	}}
+	out := EvalOblivious(dec, l, Options{Dedup: true})
+	if !out.Accepted {
+		t.Fatal("uniform cycle should accept")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("decider called %d times, want 1 (dedup)", calls.Load())
+	}
+	if out.Stats.DedupHits != 199 || out.Stats.DistinctViews != 1 {
+		t.Errorf("stats = %+v, want 199 hits over 1 distinct view", out.Stats)
+	}
+}
+
+func TestDedupSkippedWhenUnsound(t *testing.T) {
+	// Identifier-carrying evaluation: dedup must be silently disabled.
+	l := graph.UniformlyLabeled(graph.Cycle(8), "c")
+	ids := []int{3, 1, 4, 15, 9, 2, 6, 5}
+	var calls atomic.Int64
+	dec := Decider{Name: "count", Horizon: 1, UsesIDs: true, Decide: func(view *graph.View) Verdict {
+		calls.Add(1)
+		return Yes
+	}}
+	out := Eval(dec, graph.NewInstance(l, ids), Options{Dedup: true})
+	if calls.Load() != 8 || out.Stats.DedupHits != 0 {
+		t.Errorf("calls=%d hits=%d: dedup must not apply to ID-carrying views", calls.Load(), out.Stats.DedupHits)
+	}
+}
+
+func TestEarlyExitStopsEvaluation(t *testing.T) {
+	// A single-reject instance with early exit: sequential evaluation must
+	// stop at the rejecting node.
+	l := graph.UniformlyLabeled(graph.Path(100), "")
+	dec := Decider{Name: "reject-root-5", Horizon: 0, Decide: func(view *graph.View) Verdict {
+		return Verdict(view.Original[view.Root] != 5)
+	}}
+	out := EvalOblivious(dec, l, Options{EarlyExit: true})
+	if out.Accepted {
+		t.Fatal("instance must be rejected")
+	}
+	if out.Verdicts != nil {
+		t.Error("early-exit outcomes carry no per-node verdicts")
+	}
+	if !out.Stats.EarlyExit {
+		t.Error("stats should record the early exit")
+	}
+	if out.Stats.Evaluated != 6 {
+		t.Errorf("evaluated %d nodes, want 6 (stop at first reject)", out.Stats.Evaluated)
+	}
+}
+
+func TestShardedWithCapsWorkers(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.Cycle(500), "c")
+	out := EvalOblivious(degreeAtMost(2), l, Options{Scheduler: ShardedWith(3)})
+	if !out.Accepted {
+		t.Fatal("cycle is 2-regular")
+	}
+	if out.Stats.Workers != 3 {
+		t.Errorf("workers = %d, want 3", out.Stats.Workers)
+	}
+	// Tiny instance: the pool must collapse to inline evaluation.
+	small := graph.UniformlyLabeled(graph.Cycle(5), "c")
+	out = EvalOblivious(degreeAtMost(2), small, Options{Scheduler: Sharded})
+	if out.Stats.Workers != 1 {
+		t.Errorf("workers = %d on n=5, want 1 (no idle goroutines)", out.Stats.Workers)
+	}
+}
+
+func TestRandomizedSeedDeterminism(t *testing.T) {
+	// Coin streams are a function of (seed, node) only, so repeated runs and
+	// different schedulers agree verdict for verdict.
+	l := graph.RandomLabels(graph.Random(80, 0.1, 1), []graph.Label{"a", "b"}, 2)
+	dec := Decider{Name: "coin", Horizon: 1, DecideRand: func(view *graph.View, rng *rand.Rand) Verdict {
+		return Verdict(rng.Intn(4) != 0)
+	}}
+	a := EvalOblivious(dec, l, Options{Seed: 7})
+	b := EvalOblivious(dec, l, Options{Seed: 7, Scheduler: ShardedWith(4)})
+	c := EvalOblivious(dec, l, Options{Seed: 8})
+	for v := range a.Verdicts {
+		if a.Verdicts[v] != b.Verdicts[v] {
+			t.Fatalf("node %d: scheduler changed a coin verdict", v)
+		}
+	}
+	diff := false
+	for v := range a.Verdicts {
+		if a.Verdicts[v] != c.Verdicts[v] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should (overwhelmingly) change some verdict")
+	}
+}
+
+func TestDeciderValidation(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.Path(3), "")
+	for _, dec := range []Decider{
+		{Name: "neither", Horizon: 1},
+		{Name: "both", Horizon: 1,
+			Decide:     func(view *graph.View) Verdict { return Yes },
+			DecideRand: func(view *graph.View, rng *rand.Rand) Verdict { return Yes }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", dec.Name)
+				}
+			}()
+			EvalOblivious(dec, l, Options{})
+		}()
+	}
+}

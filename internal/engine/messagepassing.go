@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file is the operational backend of the engine: one goroutine per
+// node, communicating over per-edge channels in synchronous rounds. After t
+// rounds of full-information flooding each node has gathered (a superset of)
+// its radius-t neighbourhood; the backend then restricts the gathered
+// knowledge to the induced ball B(v, t) so the decider receives exactly the
+// view (G, x, Id) |> B(v, t) of the functional definition. The parity suite
+// pins this backend against the functional ones node for node (experiment
+// E13 reports the cost gap). It descends from internal/local's original
+// runtime, which now delegates here.
+
+// knowledge is a node's accumulated picture of the network, keyed by the
+// runtime's hidden node addresses (never exposed to deciders).
+type knowledge struct {
+	labels map[int]graph.Label
+	ids    map[int]int
+	edges  map[[2]int]struct{}
+}
+
+func newKnowledge() *knowledge {
+	return &knowledge{
+		labels: make(map[int]graph.Label),
+		ids:    make(map[int]int),
+		edges:  make(map[[2]int]struct{}),
+	}
+}
+
+func (k *knowledge) addEdge(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	k.edges[[2]int{u, v}] = struct{}{}
+}
+
+func (k *knowledge) merge(other *knowledge) {
+	for v, lab := range other.labels {
+		k.labels[v] = lab
+	}
+	for v, id := range other.ids {
+		k.ids[v] = id
+	}
+	for e := range other.edges {
+		k.edges[e] = struct{}{}
+	}
+}
+
+func (k *knowledge) clone() *knowledge {
+	c := newKnowledge()
+	c.merge(k)
+	return c
+}
+
+type mpScheduler struct{}
+
+func (mpScheduler) Name() string { return "message-passing" }
+
+func (mpScheduler) run(j *job) bool {
+	n := j.n
+	t := j.dec.Horizon
+	j.stats.Rounds = t
+	j.stats.Workers = n
+
+	// Hidden routing identifiers: the instance's real identifiers when the
+	// evaluation carries them, throwaway node indices otherwise (stripped
+	// from the assembled views before the decider sees them).
+	oblivious := j.in == nil
+	idOf := func(v int) int {
+		if oblivious {
+			return v
+		}
+		return j.in.IDs[v]
+	}
+
+	// Per-directed-edge channels, buffered for one message: within a round
+	// every node first sends to all neighbours, then receives, so a buffer
+	// of one message per edge keeps rounds deadlock-free.
+	type edgeKey struct{ from, to int }
+	chans := make(map[edgeKey]chan *knowledge, 2*j.l.G.M())
+	for u := 0; u < n; u++ {
+		for _, v := range j.l.G.Neighbors(u) {
+			chans[edgeKey{from: u, to: v}] = make(chan *knowledge, 1)
+		}
+	}
+
+	var (
+		rejected  atomic.Bool
+		statsMu   sync.Mutex
+		wg        sync.WaitGroup
+		evaluated atomic.Int64
+	)
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			know := newKnowledge()
+			know.labels[v] = j.l.Labels[v]
+			know.ids[v] = idOf(v)
+			for _, u := range j.l.G.Neighbors(v) {
+				know.addEdge(v, u)
+			}
+			sent, units := 0, 0
+			for round := 0; round < t; round++ {
+				// Send a snapshot to every neighbour, then receive from every
+				// neighbour. The per-edge one-slot buffers make each round a
+				// synchronisation barrier with the local neighbourhood.
+				snapshot := know.clone()
+				for _, u := range j.l.G.Neighbors(v) {
+					chans[edgeKey{from: v, to: u}] <- snapshot
+					sent++
+					units += len(snapshot.labels)
+				}
+				for _, u := range j.l.G.Neighbors(v) {
+					know.merge(<-chans[edgeKey{from: u, to: v}])
+				}
+			}
+			// The protocol itself must run to completion (neighbours depend
+			// on this node's sends), but once a reject is known an
+			// early-exit evaluation skips the remaining decide calls.
+			if !(j.opts.EarlyExit && rejected.Load()) {
+				view := assembleView(know, v, t)
+				if oblivious {
+					view.IDs = nil
+				}
+				verdict := j.decideView(view, v)
+				evaluated.Add(1)
+				if j.verdicts != nil {
+					j.verdicts[v] = verdict
+				}
+				if verdict == No {
+					rejected.Store(true)
+				}
+			}
+			statsMu.Lock()
+			j.stats.Messages += sent
+			j.stats.KnowledgeUnits += units
+			statsMu.Unlock()
+		}(v)
+	}
+	wg.Wait()
+	accepted := !rejected.Load()
+	j.stats.Evaluated = int(evaluated.Load())
+	j.stats.EarlyExit = j.opts.EarlyExit && !accepted
+	return accepted
+}
+
+// assembleView restricts gathered knowledge to the induced radius-t ball
+// around centre and packages it as a View matching graph.ViewOf, including
+// the node ordering (the dense renumbering below is monotone in the original
+// indices, so BFS discovery order is preserved).
+func assembleView(know *knowledge, centre, t int) *graph.View {
+	// Build the known subgraph with a dense renumbering in deterministic
+	// order (map iteration is random).
+	order := make([]int, 0, len(know.labels))
+	for v := range know.labels {
+		order = append(order, v)
+	}
+	sort.Ints(order)
+	index := make(map[int]int, len(order))
+	for i, v := range order {
+		index[v] = i
+	}
+	g := graph.New(len(order))
+	for e := range know.edges {
+		u, okU := index[e[0]]
+		w, okW := index[e[1]]
+		if okU && okW {
+			g.AddEdge(u, w)
+		}
+	}
+	labels := make([]graph.Label, len(order))
+	idsSlice := make([]int, len(order))
+	for i, v := range order {
+		labels[i] = know.labels[v]
+		idsSlice[i] = know.ids[v]
+	}
+	l := graph.NewLabeled(g, labels)
+
+	// Restrict to the induced ball around the centre. Distances within t in
+	// the known subgraph equal true distances, because the full induced ball
+	// (with all its shortest paths) has been gathered.
+	ball := g.Ball(index[centre], t)
+	sub, orig := l.InducedSubgraph(ball)
+	ids := make([]int, len(orig))
+	originals := make([]int, len(orig))
+	for i, w := range orig {
+		ids[i] = idsSlice[w]
+		originals[i] = order[w]
+	}
+	return &graph.View{Labeled: sub, Root: 0, Radius: t, IDs: ids, Original: originals}
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Scheduler is an evaluation backend. All schedulers produce identical
+// per-node verdicts for contract-abiding deciders; they differ in cost model
+// and fidelity (the message-passing backend actually runs the synchronous
+// protocol). The interface is closed over this package: backends share the
+// job's internal buffers.
+type Scheduler interface {
+	// Name identifies the backend in stats and reports.
+	Name() string
+	// run evaluates the job, filling j.verdicts (when present) and j.stats,
+	// and reports global acceptance.
+	run(j *job) bool
+}
+
+// Sequential evaluates nodes in index order on the calling goroutine.
+var Sequential Scheduler = seqScheduler{}
+
+// Sharded evaluates nodes on a worker pool with one batched extractor per
+// worker, capped at min(GOMAXPROCS, n) workers; small instances run inline
+// so no idle goroutines are ever spawned.
+var Sharded Scheduler = shardedScheduler{}
+
+// MessagePassing evaluates by actually running the synchronous flooding
+// protocol with one goroutine per node — the operational definition of a
+// local algorithm, kept as a backend so its equivalence with the functional
+// backends stays continuously tested.
+var MessagePassing Scheduler = mpScheduler{}
+
+// ShardedWith returns a Sharded scheduler with an explicit worker cap
+// (still additionally capped at n).
+func ShardedWith(workers int) Scheduler {
+	if workers < 1 {
+		panic("engine: worker count must be positive")
+	}
+	return shardedScheduler{workers: workers}
+}
+
+// shardedMinNodes is the instance size below which the sharded scheduler
+// runs inline: dispatching a handful of views to a pool costs more than
+// deciding them.
+const shardedMinNodes = 64
+
+// dedupMaxViewNodes bounds the views the deduplication cache considers.
+// The canonical code is the cache key, and its individualisation-refinement
+// search can explode on large symmetric views (the Section 3 pivot
+// neighbourhoods are the canonical offender); large views also repeat far
+// less often than the small structured ones dedup exists for. Oversized
+// views are decided directly.
+const dedupMaxViewNodes = 64
+
+// cachedVerdict looks up / fills the dedup cache around a decide call.
+// lock is nil for the single-threaded scheduler.
+func cachedVerdict(j *job, cache map[string]Verdict, lock *sync.Mutex, view *graph.View, v int,
+	evaluated, hits *int) Verdict {
+	if cache == nil || view.N() > dedupMaxViewNodes {
+		*evaluated++
+		return j.decideView(view, v)
+	}
+	code := view.ObliviousCode()
+	if lock != nil {
+		lock.Lock()
+	}
+	verdict, ok := cache[code]
+	if lock != nil {
+		lock.Unlock()
+	}
+	if ok {
+		*hits++
+		return verdict
+	}
+	verdict = j.decideView(view, v)
+	*evaluated++
+	if lock != nil {
+		lock.Lock()
+	}
+	cache[code] = verdict
+	if lock != nil {
+		lock.Unlock()
+	}
+	return verdict
+}
+
+type seqScheduler struct{}
+
+func (seqScheduler) Name() string { return "sequential" }
+
+func (seqScheduler) run(j *job) bool {
+	x := j.extractor()
+	var cache map[string]Verdict
+	if j.dedup {
+		cache = make(map[string]Verdict)
+	}
+	accepted := true
+	for v := 0; v < j.n; v++ {
+		view := x.At(v, j.dec.Horizon)
+		verdict := cachedVerdict(j, cache, nil, view, v, &j.stats.Evaluated, &j.stats.DedupHits)
+		if j.verdicts != nil {
+			j.verdicts[v] = verdict
+		}
+		if verdict == No {
+			accepted = false
+			if j.opts.EarlyExit {
+				break
+			}
+		}
+	}
+	j.stats.Workers = 1
+	j.stats.DistinctViews = len(cache)
+	j.stats.EarlyExit = j.opts.EarlyExit && !accepted
+	return accepted
+}
+
+type shardedScheduler struct {
+	// workers caps the pool; 0 means GOMAXPROCS.
+	workers int
+}
+
+func (shardedScheduler) Name() string { return "sharded" }
+
+func (s shardedScheduler) run(j *job) bool {
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > j.n {
+		workers = j.n
+	}
+	if workers <= 1 || j.n < shardedMinNodes {
+		return seqScheduler{}.run(j)
+	}
+
+	var (
+		next     atomic.Int64
+		rejected atomic.Bool
+		mu       sync.Mutex // guards cache and stats aggregation
+		wg       sync.WaitGroup
+		cache    map[string]Verdict
+	)
+	if j.dedup {
+		cache = make(map[string]Verdict)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			x := j.extractor()
+			evaluated, hits := 0, 0
+			for {
+				v := int(next.Add(1)) - 1
+				if v >= j.n {
+					break
+				}
+				if j.opts.EarlyExit && rejected.Load() {
+					break
+				}
+				view := x.At(v, j.dec.Horizon)
+				verdict := cachedVerdict(j, cache, &mu, view, v, &evaluated, &hits)
+				if j.verdicts != nil {
+					j.verdicts[v] = verdict
+				}
+				if verdict == No {
+					rejected.Store(true)
+				}
+			}
+			mu.Lock()
+			j.stats.Evaluated += evaluated
+			j.stats.DedupHits += hits
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	accepted := !rejected.Load()
+	j.stats.Workers = workers
+	j.stats.DistinctViews = len(cache)
+	j.stats.EarlyExit = j.opts.EarlyExit && !accepted
+	return accepted
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/decide"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/halting"
 	"repro/internal/local"
@@ -50,7 +51,8 @@ func RunE1(cfg Config) (*Result, error) {
 		for i := range seq {
 			seq[i] = i
 		}
-		out := local.RunParallel(p.LDDecider(), graph.NewInstance(asm.Labeled, seq))
+		out := engine.Eval(local.EngineDecider(p.LDDecider()), graph.NewInstance(asm.Labeled, seq),
+			engine.Options{Scheduler: engine.Sharded, EarlyExit: true})
 		if out.Accepted != tc.want {
 			res.OK = false
 		}
@@ -212,7 +214,8 @@ func RunE8(cfg Config) (*Result, error) {
 		row := []string{alg.Name()}
 		ok := true
 		for i, l := range append(prob.Yes, prob.No...) {
-			out := local.RunOblivious(alg, l)
+			out := engine.EvalOblivious(local.EngineObliviousDecider(alg), l,
+				engine.Options{EarlyExit: true, Dedup: true})
 			cell := "accept"
 			if !out.Accepted {
 				cell = "reject"

@@ -66,6 +66,32 @@ func BenchmarkViewExtraction(b *testing.B) {
 	}
 }
 
+// The one-shot helper against the batched extractor on the same access
+// pattern: the extractor's scratch reuse is the engine's per-node fast path,
+// and the ratio here is the per-view cost of the map-backed seed path.
+func BenchmarkViewExtractorVsOneShot(b *testing.B) {
+	hosts := map[string]*Labeled{
+		"grid20x20":  UniformlyLabeled(Grid(20, 20), "g"),
+		"cycle10000": UniformlyLabeled(Cycle(10000), "c"),
+	}
+	for name, l := range hosts {
+		for _, t := range []int{2, 3} {
+			b.Run(fmt.Sprintf("%s/radius-%d/oneshot", name, t), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ObliviousViewOf(l, (i*37)%l.N(), t)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/radius-%d/extractor", name, t), func(b *testing.B) {
+				x := NewViewExtractor(l)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					x.At((i*37)%l.N(), t)
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkBallExtraction(b *testing.B) {
 	g := Grid(30, 30)
 	b.ResetTimer()

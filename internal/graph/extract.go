@@ -1,0 +1,139 @@
+package graph
+
+// ViewExtractor extracts radius-t views in bulk while reusing all scratch
+// memory between calls: the BFS stamp array, the frontier queues, the view's
+// adjacency lists, and the label/identifier/original-index buffers. One
+// extractor per worker turns per-node view extraction from "two map-backed
+// allocations per node" (Ball + InducedSubgraph) into an allocation-free
+// inner loop, which is where the evaluation engine spends its time on the
+// large Section 3 instances.
+//
+// The extractor reproduces ViewOf / ObliviousViewOf exactly: the view's node
+// ordering is the same BFS discovery order (centre first, then by distance,
+// within a layer by discovery), so the returned view is field-for-field
+// identical to the one the one-shot helpers build.
+//
+// Lifetime contract: the *View returned by At (and everything it references —
+// structure, labels, identifiers, Original) is only valid until the next call
+// to At on the same extractor. Callers that need to retain a view must copy
+// it; local deciders, which are pure functions of the view, never do.
+//
+// A ViewExtractor is not safe for concurrent use; give each worker its own.
+type ViewExtractor struct {
+	l   *Labeled
+	ids []int // identifier per original node; nil for oblivious extraction
+
+	// BFS scratch, sized to the host graph.
+	stamp     []int // visit epoch per original node
+	viewIndex []int // original node -> dense view index, valid when stamped
+	epoch     int
+	ball      []int
+	frontier  []int
+	next      []int
+
+	// Reusable view output buffers, sized to the largest ball seen so far.
+	adjStore [][]int
+	labels   []Label
+	outIDs   []int
+	orig     []int
+
+	// The returned view aliases these; they are overwritten by the next At.
+	g       Graph
+	labeled Labeled
+	view    View
+}
+
+// NewViewExtractor returns an extractor producing ID-free views of l
+// (the batched equivalent of ObliviousViewOf).
+func NewViewExtractor(l *Labeled) *ViewExtractor {
+	n := l.N()
+	return &ViewExtractor{
+		l:         l,
+		stamp:     make([]int, n),
+		viewIndex: make([]int, n),
+	}
+}
+
+// NewInstanceViewExtractor returns an extractor producing identifier-carrying
+// views of in (the batched equivalent of ViewOf).
+func NewInstanceViewExtractor(in *Instance) *ViewExtractor {
+	x := NewViewExtractor(in.Labeled)
+	x.ids = in.IDs
+	return x
+}
+
+// At extracts the radius-t view of node v. The result is valid until the next
+// call; see the type documentation for the full lifetime contract.
+func (x *ViewExtractor) At(v, t int) *View {
+	g := x.l.G
+	g.check(v)
+	if t < 0 {
+		panic("graph: negative radius")
+	}
+	x.epoch++
+	x.stamp[v] = x.epoch
+	x.ball = append(x.ball[:0], v)
+	x.frontier = append(x.frontier[:0], v)
+	for d := 0; d < t && len(x.frontier) > 0; d++ {
+		x.next = x.next[:0]
+		for _, w := range x.frontier {
+			for _, u := range g.adj[w] {
+				if x.stamp[u] != x.epoch {
+					x.stamp[u] = x.epoch
+					x.next = append(x.next, u)
+					x.ball = append(x.ball, u)
+				}
+			}
+		}
+		x.frontier, x.next = x.next, x.frontier
+	}
+
+	k := len(x.ball)
+	x.growOutput(k)
+	for i, w := range x.ball {
+		x.viewIndex[w] = i
+	}
+	for i, w := range x.ball {
+		nbrs := x.adjStore[i][:0]
+		for _, u := range g.adj[w] {
+			if x.stamp[u] == x.epoch {
+				nbrs = append(nbrs, x.viewIndex[u])
+			}
+		}
+		// Neighbours arrive sorted by original index but view indices follow
+		// BFS discovery order, so re-sort the (small) list to restore the
+		// Graph invariant of sorted adjacency.
+		sortInts(nbrs)
+		x.adjStore[i] = nbrs
+	}
+	for i, w := range x.ball {
+		x.labels[i] = x.l.Labels[w]
+		x.orig[i] = w
+		if x.ids != nil {
+			x.outIDs[i] = x.ids[w]
+		}
+	}
+
+	x.g.adj = x.adjStore[:k]
+	x.labeled = Labeled{G: &x.g, Labels: x.labels[:k]}
+	x.view = View{Labeled: &x.labeled, Root: 0, Radius: t, Original: x.orig[:k]}
+	if x.ids != nil {
+		x.view.IDs = x.outIDs[:k]
+	}
+	return &x.view
+}
+
+// growOutput ensures the reusable output buffers hold k view nodes.
+func (x *ViewExtractor) growOutput(k int) {
+	for len(x.adjStore) < k {
+		x.adjStore = append(x.adjStore, nil)
+	}
+	if cap(x.labels) < k {
+		x.labels = make([]Label, k)
+		x.orig = make([]int, k)
+		x.outIDs = make([]int, k)
+	}
+	x.labels = x.labels[:k]
+	x.orig = x.orig[:k]
+	x.outIDs = x.outIDs[:k]
+}

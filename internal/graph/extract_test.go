@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func viewsIdentical(a, b *View) bool {
+	if !a.Labeled.Equal(b.Labeled) || a.Root != b.Root || a.Radius != b.Radius {
+		return false
+	}
+	if (a.IDs == nil) != (b.IDs == nil) || len(a.Original) != len(b.Original) {
+		return false
+	}
+	for i := range a.Original {
+		if a.Original[i] != b.Original[i] {
+			return false
+		}
+	}
+	if a.IDs != nil {
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// The extractor must reproduce the one-shot helpers field for field: same
+// node ordering (BFS discovery), same structure, labels, IDs and Original.
+func TestViewExtractorMatchesViewOf(t *testing.T) {
+	hosts := map[string]*Graph{
+		"path9":    Path(9),
+		"cycle12":  Cycle(12),
+		"star8":    Star(8),
+		"grid4x5":  Grid(4, 5),
+		"tree4":    CompleteBinaryTree(4),
+		"random25": Random(25, 0.2, 7),
+		"single":   New(1),
+	}
+	for name, g := range hosts {
+		l := RandomLabels(g, []Label{"a", "b", "c"}, 3)
+		ids := make([]int, g.N())
+		for i := range ids {
+			ids[i] = 2*i + 5
+		}
+		in := NewInstance(l, ids)
+		xObl := NewViewExtractor(l)
+		xIns := NewInstanceViewExtractor(in)
+		for _, radius := range []int{0, 1, 2, 3} {
+			for v := 0; v < g.N(); v++ {
+				if got, want := xObl.At(v, radius), ObliviousViewOf(l, v, radius); !viewsIdentical(got, want) {
+					t.Fatalf("%s: oblivious view of node %d at radius %d diverges:\n got %v\nwant %v", name, v, radius, got, want)
+				}
+				if got, want := xIns.At(v, radius), ViewOf(in, v, radius); !viewsIdentical(got, want) {
+					t.Fatalf("%s: instance view of node %d at radius %d diverges", name, v, radius)
+				}
+			}
+		}
+	}
+}
+
+func TestViewExtractorQuick(t *testing.T) {
+	property := func(seed int64, tRaw uint8) bool {
+		n := 2 + int(seed%29+29)%29
+		radius := int(tRaw % 4)
+		l := RandomLabels(Random(n, 0.25, seed), []Label{"x", "y"}, seed+1)
+		x := NewViewExtractor(l)
+		for v := 0; v < n; v++ {
+			if !viewsIdentical(x.At(v, radius), ObliviousViewOf(l, v, radius)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Successive calls reuse the same buffers; each call must still be internally
+// consistent (codes equal to the fresh extraction at the time of the call).
+func TestViewExtractorReuseConsistency(t *testing.T) {
+	l := UniformlyLabeled(Grid(5, 5), "g")
+	x := NewViewExtractor(l)
+	for v := 0; v < l.N(); v++ {
+		got := x.At(v, 2).ObliviousCode()
+		want := ObliviousViewOf(l, v, 2).ObliviousCode()
+		if got != want {
+			t.Fatalf("node %d: code diverges after buffer reuse", v)
+		}
+	}
+}

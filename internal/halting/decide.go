@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/turing"
@@ -353,7 +354,9 @@ func (p Params) EstimateRejection(asm *Assembly, trials int, seed int64) float64
 	if trials < 1 {
 		panic("halting: trials must be positive")
 	}
-	if !local.RunObliviousParallel(p.StructureVerifier(), asm.Labeled).Accepted {
+	structure := engine.EvalOblivious(local.EngineObliviousDecider(p.StructureVerifier()), asm.Labeled,
+		engine.Options{Scheduler: engine.Sharded, EarlyExit: true, Dedup: true})
+	if !structure.Accepted {
 		return 1 // stage 1 already rejects deterministically
 	}
 	n := asm.Labeled.N()

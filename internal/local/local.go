@@ -1,20 +1,24 @@
 // Package local implements the LOCAL model of distributed computing as used
 // by the paper: constant-horizon local algorithms evaluated on radius-t
-// views, in both the ID-using and the Id-oblivious variants, plus a
-// goroutine-per-node synchronous message-passing runtime that realises the
-// same semantics operationally (a local algorithm with horizon t corresponds
-// to a distributed algorithm running in t +- 1 synchronous rounds).
+// views, in both the ID-using and the Id-oblivious variants. Evaluation
+// itself — batched view extraction, scheduling, deduplication, aggregation —
+// lives in internal/engine; this package defines the algorithm interfaces of
+// the paper's model and adapts them onto the engine. The historical entry
+// points (Run, RunOblivious, RunParallel, RunMessagePassing, ...) remain as
+// thin wrappers selecting an engine scheduler.
 package local
 
 import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
-// Verdict is a node's local output in a decision task.
-type Verdict bool
+// Verdict is a node's local output in a decision task. It is the engine's
+// verdict type; Yes/No and String come with it.
+type Verdict = engine.Verdict
 
 // Local outputs. A property holds globally iff every node says Yes; it fails
 // iff at least one node says No.
@@ -23,13 +27,9 @@ const (
 	No  Verdict = false
 )
 
-// String renders the verdict.
-func (v Verdict) String() string {
-	if v == Yes {
-		return "yes"
-	}
-	return "no"
-}
+// Outcome is the result of running a decision algorithm on an instance
+// (the engine's outcome, including evaluation stats).
+type Outcome = engine.Outcome
 
 // Algorithm is an ID-using local algorithm: a function of the radius-t view
 // (G, x, Id) |> B(v, t). Implementations must be deterministic functions of
@@ -47,6 +47,10 @@ type Algorithm interface {
 // ObliviousAlgorithm is an Id-oblivious local algorithm: a function of the
 // view without identifiers. Obliviousness is structural — implementations
 // never see IDs, so A(G, x, Id, v) = A(G, x, Id', v) holds by construction.
+// Per the LOCAL model, implementations must depend only on the isomorphism
+// class of the rooted view (not on its internal numbering or on
+// View.Original); the engine's canonical-view deduplication relies on this
+// when a caller enables it.
 type ObliviousAlgorithm interface {
 	Name() string
 	Horizon() int
@@ -62,67 +66,55 @@ type RandomizedAlgorithm interface {
 	DecideRandomized(view *graph.View, rng *rand.Rand) Verdict
 }
 
-// Outcome is the result of running a decision algorithm on an instance.
-type Outcome struct {
-	Verdicts []Verdict
-	// Accepted is true iff every node output Yes.
-	Accepted bool
+// EngineDecider adapts an ID-using algorithm to the engine's decider type.
+func EngineDecider(alg Algorithm) engine.Decider {
+	return engine.Decider{Name: alg.Name(), Horizon: alg.Horizon(), UsesIDs: true, Decide: alg.Decide}
 }
 
-// reject returns the outcome aggregate.
-func aggregate(verdicts []Verdict) Outcome {
-	accepted := true
-	for _, v := range verdicts {
-		if v == No {
-			accepted = false
-			break
-		}
-	}
-	return Outcome{Verdicts: verdicts, Accepted: accepted}
+// EngineObliviousDecider adapts an Id-oblivious algorithm to the engine's
+// decider type.
+func EngineObliviousDecider(alg ObliviousAlgorithm) engine.Decider {
+	return engine.Decider{Name: alg.Name(), Horizon: alg.Horizon(), Decide: alg.DecideOblivious}
+}
+
+// EngineRandomizedDecider adapts a randomized algorithm to the engine's
+// decider type.
+func EngineRandomizedDecider(alg RandomizedAlgorithm) engine.Decider {
+	return engine.Decider{Name: alg.Name(), Horizon: alg.Horizon(), DecideRand: alg.DecideRandomized}
 }
 
 // Run evaluates an ID-using algorithm on every node of an instance by direct
 // view extraction.
 func Run(alg Algorithm, in *graph.Instance) Outcome {
-	verdicts := make([]Verdict, in.N())
-	for v := 0; v < in.N(); v++ {
-		verdicts[v] = alg.Decide(graph.ViewOf(in, v, alg.Horizon()))
-	}
-	return aggregate(verdicts)
+	return engine.Eval(EngineDecider(alg), in, engine.Options{Scheduler: engine.Sequential})
 }
 
 // RunOblivious evaluates an Id-oblivious algorithm on every node of a
 // labelled graph. No identifiers are involved at any point.
 func RunOblivious(alg ObliviousAlgorithm, l *graph.Labeled) Outcome {
-	verdicts := make([]Verdict, l.N())
-	for v := 0; v < l.N(); v++ {
-		verdicts[v] = alg.DecideOblivious(graph.ObliviousViewOf(l, v, alg.Horizon()))
-	}
-	return aggregate(verdicts)
+	return engine.EvalOblivious(EngineObliviousDecider(alg), l, engine.Options{Scheduler: engine.Sequential})
 }
 
 // RunRandomized evaluates a randomized Id-oblivious algorithm once, deriving
 // each node's coin stream deterministically from seed and the node index
 // (independent streams across nodes).
 func RunRandomized(alg RandomizedAlgorithm, l *graph.Labeled, seed int64) Outcome {
-	verdicts := make([]Verdict, l.N())
-	for v := 0; v < l.N(); v++ {
-		rng := rand.New(rand.NewSource(seed ^ (int64(v+1) * 0x9e3779b97f4a7c)))
-		verdicts[v] = alg.DecideRandomized(graph.ObliviousViewOf(l, v, alg.Horizon()), rng)
-	}
-	return aggregate(verdicts)
+	return engine.EvalOblivious(EngineRandomizedDecider(alg), l,
+		engine.Options{Scheduler: engine.Sequential, Seed: seed})
 }
 
 // EstimateAcceptance runs a randomized algorithm over `trials` independent
 // seeds and returns the fraction of runs in which the instance was accepted
-// (all nodes Yes).
+// (all nodes Yes). Each trial early-exits at the first rejecting node.
 func EstimateAcceptance(alg RandomizedAlgorithm, l *graph.Labeled, trials int, seed int64) float64 {
 	if trials < 1 {
 		panic("local: trials must be positive")
 	}
+	dec := EngineRandomizedDecider(alg)
 	accepted := 0
 	for i := 0; i < trials; i++ {
-		if RunRandomized(alg, l, seed+int64(i)*2654435761).Accepted {
+		opts := engine.Options{EarlyExit: true, Seed: seed + int64(i)*2654435761}
+		if engine.EvalOblivious(dec, l, opts).Accepted {
 			accepted++
 		}
 	}

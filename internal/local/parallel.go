@@ -1,67 +1,26 @@
 package local
 
 import (
-	"runtime"
-	"sync"
-
+	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
-// This file provides parallel evaluation of local algorithms. Local
-// decision is embarrassingly parallel across nodes — each verdict depends
-// only on that node's view — so a worker pool recovers most of the
-// multi-core speedup on the large Section 3 instances. Tests pin the
-// parallel results against the sequential runner.
+// Parallel evaluation of local algorithms: local decision is embarrassingly
+// parallel across nodes — each verdict depends only on that node's view —
+// and the engine's sharded scheduler recovers the multi-core speedup on the
+// large Section 3 instances with one batched view extractor per worker.
+// Workers are capped at min(GOMAXPROCS, n) and small instances run inline,
+// so no idle goroutines are ever spawned. Tests pin the parallel results
+// against the sequential runner.
 
-// RunParallel evaluates an ID-using algorithm with one worker per CPU.
+// RunParallel evaluates an ID-using algorithm on the engine's sharded
+// worker pool.
 func RunParallel(alg Algorithm, in *graph.Instance) Outcome {
-	n := in.N()
-	verdicts := make([]Verdict, n)
-	forEachNode(n, func(v int) {
-		verdicts[v] = alg.Decide(graph.ViewOf(in, v, alg.Horizon()))
-	})
-	return aggregate(verdicts)
+	return engine.Eval(EngineDecider(alg), in, engine.Options{Scheduler: engine.Sharded})
 }
 
-// RunObliviousParallel evaluates an Id-oblivious algorithm with one worker
-// per CPU.
+// RunObliviousParallel evaluates an Id-oblivious algorithm on the engine's
+// sharded worker pool.
 func RunObliviousParallel(alg ObliviousAlgorithm, l *graph.Labeled) Outcome {
-	n := l.N()
-	verdicts := make([]Verdict, n)
-	forEachNode(n, func(v int) {
-		verdicts[v] = alg.DecideOblivious(graph.ObliviousViewOf(l, v, alg.Horizon()))
-	})
-	return aggregate(verdicts)
-}
-
-// forEachNode fans the node range out over a worker pool. The work per node
-// is independent (views are extracted per call; algorithms must be
-// stateless, which the Algorithm contract already requires).
-func forEachNode(n int, work func(v int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for v := 0; v < n; v++ {
-			work(v)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for v := range next {
-				work(v)
-			}
-		}()
-	}
-	for v := 0; v < n; v++ {
-		next <- v
-	}
-	close(next)
-	wg.Wait()
+	return engine.EvalOblivious(EngineObliviousDecider(alg), l, engine.Options{Scheduler: engine.Sharded})
 }

@@ -1,60 +1,17 @@
 package local
 
 import (
-	"sync"
-
+	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
-// This file implements the operational side of the LOCAL model: one
-// goroutine per node, communicating over per-edge channels in synchronous
-// rounds. After t rounds of full-information flooding each node has gathered
-// (a superset of) its radius-t neighbourhood; the runtime then restricts the
-// gathered knowledge to the induced ball B(v, t) so that the algorithm
-// receives exactly the view (G, x, Id) |> B(v, t) of the functional
-// definition. Tests verify that the two evaluation paths agree node for node
+// The operational side of the LOCAL model — one goroutine per node,
+// communicating over per-edge channels in synchronous rounds — lives in the
+// engine as its MessagePassing backend (it was born in this file and moved
+// there when all runners were unified). These wrappers preserve the
+// historical entry points and the cost accounting. Tests verify that the
+// operational and functional evaluation paths agree node for node
 // (experiment E13).
-
-// knowledge is a node's accumulated picture of the network, keyed by the
-// runtime's hidden node addresses (never exposed to algorithms).
-type knowledge struct {
-	labels map[int]graph.Label
-	ids    map[int]int
-	edges  map[[2]int]struct{}
-}
-
-func newKnowledge() *knowledge {
-	return &knowledge{
-		labels: make(map[int]graph.Label),
-		ids:    make(map[int]int),
-		edges:  make(map[[2]int]struct{}),
-	}
-}
-
-func (k *knowledge) addEdge(u, v int) {
-	if u > v {
-		u, v = v, u
-	}
-	k.edges[[2]int{u, v}] = struct{}{}
-}
-
-func (k *knowledge) merge(other *knowledge) {
-	for v, lab := range other.labels {
-		k.labels[v] = lab
-	}
-	for v, id := range other.ids {
-		k.ids[v] = id
-	}
-	for e := range other.edges {
-		k.edges[e] = struct{}{}
-	}
-}
-
-func (k *knowledge) clone() *knowledge {
-	c := newKnowledge()
-	c.merge(k)
-	return c
-}
 
 // RuntimeStats reports the operational cost of a message-passing run: the
 // LOCAL model's "free" full-information flooding is anything but free, which
@@ -80,132 +37,22 @@ func RunMessagePassing(alg Algorithm, in *graph.Instance) Outcome {
 
 // RunMessagePassingStats is RunMessagePassing with cost accounting.
 func RunMessagePassingStats(alg Algorithm, in *graph.Instance) (Outcome, RuntimeStats) {
-	n := in.N()
-	t := alg.Horizon()
-	stats := RuntimeStats{Rounds: t}
-	verdicts := make([]Verdict, n)
-	if n == 0 {
-		return aggregate(verdicts), stats
+	out := engine.Eval(EngineDecider(alg), in, engine.Options{Scheduler: engine.MessagePassing})
+	stats := RuntimeStats{
+		Rounds:         alg.Horizon(),
+		Messages:       out.Stats.Messages,
+		KnowledgeUnits: out.Stats.KnowledgeUnits,
 	}
-
-	// Per-directed-edge channels, buffered for one message: within a round
-	// every node first sends to all neighbours, then receives, so a buffer of
-	// one message per edge keeps rounds deadlock-free.
-	type edgeKey struct{ from, to int }
-	chans := make(map[edgeKey]chan *knowledge, 2*in.G.M())
-	for u := 0; u < n; u++ {
-		for _, v := range in.G.Neighbors(u) {
-			chans[edgeKey{from: u, to: v}] = make(chan *knowledge, 1)
-		}
-	}
-
-	var statsMu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		go func(v int) {
-			defer wg.Done()
-			know := newKnowledge()
-			know.labels[v] = in.Labels[v]
-			know.ids[v] = in.IDs[v]
-			for _, u := range in.G.Neighbors(v) {
-				know.addEdge(v, u)
-			}
-			sent, units := 0, 0
-			for round := 0; round < t; round++ {
-				// Send a snapshot to every neighbour, then receive from every
-				// neighbour. The per-edge one-slot buffers make each round a
-				// synchronisation barrier with the local neighbourhood.
-				snapshot := know.clone()
-				for _, u := range in.G.Neighbors(v) {
-					chans[edgeKey{from: v, to: u}] <- snapshot
-					sent++
-					units += len(snapshot.labels)
-				}
-				for _, u := range in.G.Neighbors(v) {
-					know.merge(<-chans[edgeKey{from: u, to: v}])
-				}
-			}
-			verdicts[v] = alg.Decide(assembleView(know, v, t))
-			statsMu.Lock()
-			stats.Messages += sent
-			stats.KnowledgeUnits += units
-			statsMu.Unlock()
-		}(v)
-	}
-	wg.Wait()
-	return aggregate(verdicts), stats
-}
-
-// assembleView restricts gathered knowledge to the induced radius-t ball
-// around centre and packages it as a View matching graph.ViewOf.
-func assembleView(know *knowledge, centre, t int) *graph.View {
-	// Build the known subgraph with a dense renumbering.
-	index := make(map[int]int, len(know.labels))
-	var order []int
-	for v := range know.labels {
-		order = append(order, v)
-	}
-	// Deterministic order (map iteration is random).
-	sortInts(order)
-	for i, v := range order {
-		index[v] = i
-	}
-	g := graph.New(len(order))
-	for e := range know.edges {
-		u, okU := index[e[0]]
-		w, okW := index[e[1]]
-		if okU && okW {
-			g.AddEdge(u, w)
-		}
-	}
-	labels := make([]graph.Label, len(order))
-	idsSlice := make([]int, len(order))
-	for i, v := range order {
-		labels[i] = know.labels[v]
-		idsSlice[i] = know.ids[v]
-	}
-	l := graph.NewLabeled(g, labels)
-
-	// Restrict to the induced ball around the centre. Distances within t in
-	// the known subgraph equal true distances, because the full induced ball
-	// (with all its shortest paths) has been gathered.
-	ball := g.Ball(index[centre], t)
-	sub, orig := l.InducedSubgraph(ball)
-	ids := make([]int, len(orig))
-	originals := make([]int, len(orig))
-	for i, w := range orig {
-		ids[i] = idsSlice[w]
-		originals[i] = order[w]
-	}
-	return &graph.View{Labeled: sub, Root: 0, Radius: t, IDs: ids, Original: originals}
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j-1] > s[j]; j-- {
-			s[j-1], s[j] = s[j], s[j-1]
-		}
-	}
+	return out, stats
 }
 
 // RunMessagePassingOblivious is the Id-oblivious operational runtime: the
-// protocol runs exactly as RunMessagePassing but the assembled views are
-// stripped of identifiers before the algorithm sees them.
+// protocol runs exactly as RunMessagePassing (with throwaway internal
+// addresses for routing) but the assembled views are stripped of identifiers
+// before the algorithm sees them.
 func RunMessagePassingOblivious(alg ObliviousAlgorithm, l *graph.Labeled) Outcome {
-	// Internally the runtime needs addresses to route messages; it uses the
-	// node indices as throwaway identifiers and strips them from the views.
-	ids := make([]int, l.N())
-	for i := range ids {
-		ids[i] = i
-	}
-	adapter := AlgorithmFunc(alg.Name(), alg.Horizon(), func(view *graph.View) Verdict {
-		return alg.DecideOblivious(view.StripIDs())
-	})
-	if l.N() == 0 {
-		return aggregate(nil)
-	}
-	return RunMessagePassing(adapter, graph.NewInstance(l, ids))
+	return engine.EvalOblivious(EngineObliviousDecider(alg), l,
+		engine.Options{Scheduler: engine.MessagePassing})
 }
 
 // Rounds reports the number of synchronous rounds the operational runtime
