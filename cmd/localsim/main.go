@@ -7,12 +7,16 @@
 //	localsim -graph cycle -n 8 -decider 3col
 //	localsim -graph cycle -n 1000 -decider degree2 -backend sharded -dedup
 //	localsim -graph star -n 6 -decider degree2 -backend mp
+//	localsim -graph cycle -n 500 -decider degree2 -runs 5 -cache
 //
 // Graphs: cycle, path, star, grid (rows x cols ~ n x 4), tree (depth n).
 // Deciders: 3col (labels random colours), mis (labels random bits),
 // degree2, triangle-free.
 // Backends: sequential (default), sharded (worker pool), mp (goroutine
 // message passing). -dedup decides each distinct canonical view once.
+// -runs repeats the evaluation; with -cache the runs share one cross-run
+// verdict cache (engine.ViewCache), so later runs reuse every verdict
+// decided earlier — the per-run stats lines show the hits.
 package main
 
 import (
@@ -42,8 +46,13 @@ func run(args []string) error {
 	backend := fs.String("backend", "sequential", "sequential | sharded | mp")
 	dedup := fs.Bool("dedup", false, "decide each distinct canonical view once")
 	useMP := fs.Bool("mp", false, "shorthand for -backend mp")
+	runs := fs.Int("runs", 1, "repeat the evaluation this many times")
+	useCache := fs.Bool("cache", false, "share a cross-run verdict cache between runs (implies -dedup)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be positive, got %d", *runs)
 	}
 	if *useMP {
 		if *backend != "sequential" && *backend != "mp" && *backend != "message-passing" {
@@ -65,8 +74,22 @@ func run(args []string) error {
 		return err
 	}
 
-	out := engine.EvalOblivious(local.EngineObliviousDecider(alg), l,
-		engine.Options{Scheduler: sched, Dedup: *dedup})
+	var cache *engine.ViewCache
+	if *useCache {
+		cache = engine.NewViewCache()
+	}
+	opts := engine.Options{Scheduler: sched, Dedup: *dedup, Cache: cache}
+	dec := local.EngineObliviousDecider(alg)
+
+	var out engine.Outcome
+	for r := 0; r < *runs; r++ {
+		out = engine.EvalOblivious(dec, l, opts)
+		if *runs > 1 {
+			s := out.Stats
+			fmt.Printf("run %d: evaluated=%d dedupHits=%d cacheSize=%d\n",
+				r+1, s.Evaluated, s.DedupHits, s.CacheSize)
+		}
+	}
 
 	fmt.Printf("graph=%s n=%d decider=%s backend=%s\n", *graphKind, l.N(), alg.Name(), out.Stats.Scheduler)
 	for v := 0; v < l.N(); v++ {
@@ -80,15 +103,18 @@ func run(args []string) error {
 	s := out.Stats
 	isMP := s.Scheduler == engine.MessagePassing.Name()
 	fmt.Printf("engine: workers=%d evaluated=%d", s.Workers, s.Evaluated)
-	if *dedup && !isMP {
+	if (*dedup || *useCache) && !isMP {
 		fmt.Printf(" dedupHits=%d distinctViews=%d", s.DedupHits, s.DistinctViews)
 	}
 	if isMP {
 		fmt.Printf(" rounds=%d messages=%d knowledgeUnits=%d", s.Rounds, s.Messages, s.KnowledgeUnits)
 	}
 	fmt.Println()
-	if *dedup && isMP {
-		fmt.Println("note: the message-passing backend assembles every view operationally and never deduplicates; -dedup had no effect")
+	if *useCache && !isMP {
+		fmt.Printf("cache: shared across %d run(s), %d distinct views decided in total\n", *runs, cache.Len())
+	}
+	if (*dedup || *useCache) && isMP {
+		fmt.Println("note: the message-passing backend assembles every view operationally and never deduplicates; -dedup/-cache had no effect")
 	}
 	return nil
 }

@@ -10,6 +10,8 @@ func TestLocalsimCombos(t *testing.T) {
 		{"-graph", "grid", "-n", "3", "-decider", "triangle-free"},
 		{"-graph", "tree", "-n", "3", "-decider", "degree2"},
 		{"-graph", "cycle", "-n", "6", "-decider", "3col", "-mp"},
+		{"-graph", "cycle", "-n", "50", "-decider", "degree2", "-runs", "3", "-cache"},
+		{"-graph", "grid", "-n", "8", "-decider", "triangle-free", "-backend", "sharded", "-runs", "2", "-cache"},
 	}
 	for _, args := range combos {
 		if err := run(args); err != nil {
@@ -24,5 +26,8 @@ func TestLocalsimErrors(t *testing.T) {
 	}
 	if err := run([]string{"-decider", "mystery"}); err == nil {
 		t.Error("unknown decider accepted")
+	}
+	if err := run([]string{"-runs", "0"}); err == nil {
+		t.Error("non-positive -runs accepted")
 	}
 }

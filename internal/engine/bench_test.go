@@ -94,6 +94,46 @@ func BenchmarkDedup(b *testing.B) {
 	})
 }
 
+// The cross-run ViewCache on an instance family: per-run dedup re-decides
+// every distinct view on every instance, the shared cache decides each view
+// once for the whole family. The family is periodically-labelled cycles —
+// many distinct views, all shared across instances, exactly the shape of the
+// experiment sweeps and the halting promise family — and the decider is
+// verification-grade, so re-deciding is the dominant cost.
+func BenchmarkCrossRunCache(b *testing.B) {
+	labelPeriodic := func(n, period int) *graph.Labeled {
+		labels := make([]graph.Label, n)
+		for v := range labels {
+			labels[v] = fmt.Sprintf("p%d", v%period)
+		}
+		return graph.NewLabeled(graph.Cycle(n), labels)
+	}
+	family := []*graph.Labeled{
+		labelPeriodic(512, 16),
+		labelPeriodic(768, 16),
+		labelPeriodic(1024, 16),
+	}
+	dec := expensiveDecider(2, 64)
+	b.Run("per-run-dedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, l := range family {
+				EvalOblivious(dec, l, Options{Dedup: true})
+			}
+		}
+	})
+	b.Run("shared-cache", func(b *testing.B) {
+		// A fresh cache per iteration keeps the measurement
+		// iteration-invariant: every iteration is one cold family sweep
+		// (decide each view once), not a converging pure-hit steady state.
+		for i := 0; i < b.N; i++ {
+			cache := NewViewCache()
+			for _, l := range family {
+				EvalOblivious(dec, l, Options{Cache: cache})
+			}
+		}
+	})
+}
+
 // Scaling of the sharded scheduler with the worker cap (visible only on
 // multi-core hardware; on a single-CPU host all worker counts coincide).
 func BenchmarkParallelScaling(b *testing.B) {

@@ -90,9 +90,19 @@ type Stats struct {
 	Evaluated int
 	// DedupHits counts verdicts served from the canonical-view cache.
 	DedupHits int
-	// DistinctViews is the number of distinct canonical view codes seen
-	// (0 when deduplication is off).
+	// DistinctViews is the number of distinct canonical view codes this
+	// evaluation decided and inserted into the cache (0 when deduplication
+	// is off). With a private per-evaluation cache this equals the number of
+	// distinct codes seen; with a shared Options.Cache, views already decided
+	// by earlier evaluations count as DedupHits instead.
 	DistinctViews int
+	// CacheSize is the verdict cache's total entry count after the
+	// evaluation — across every decider and prior evaluation sharing it when
+	// Options.Cache is set.
+	CacheSize int
+	// CacheShared reports that the evaluation ran against a caller-provided
+	// cross-run cache rather than a private one.
+	CacheShared bool
 	// Workers is the number of concurrent workers used.
 	Workers int
 	// EarlyExit reports whether evaluation stopped before covering all
@@ -127,6 +137,13 @@ type Options struct {
 	// see Decider.Decide). Verification harnesses probing possibly
 	// ill-behaved deciders should leave dedup off.
 	Dedup bool
+	// Cache, when set, is a shared cross-evaluation verdict cache: views
+	// already decided by an earlier evaluation (of this decider, keyed by
+	// name and horizon) are served without re-deciding. Setting Cache
+	// implies Dedup; the same soundness conditions apply, plus the naming
+	// condition documented on ViewCache. When nil and Dedup is set, the
+	// engine uses a private cache for the one evaluation.
+	Cache *ViewCache
 	// EarlyExit lets the engine stop at the first No verdict. The Outcome
 	// then carries no per-node verdicts.
 	EarlyExit bool
@@ -154,7 +171,8 @@ type job struct {
 	opts Options
 
 	n        int
-	dedup    bool // resolved: requested and sound for this decider/input
+	cache    *ViewCache // nil when dedup is off or unsound for this input
+	shared   bool       // cache came from Options.Cache (cross-run)
 	verdicts []Verdict
 	stats    Stats
 }
@@ -167,12 +185,21 @@ func newJob(dec Decider, l *graph.Labeled, in *graph.Instance, opts Options) *jo
 		panic("engine: negative horizon")
 	}
 	j := &job{
-		dec:   dec,
-		l:     l,
-		in:    in,
-		opts:  opts,
-		n:     l.N(),
-		dedup: opts.Dedup && in == nil && dec.DecideRand == nil,
+		dec:  dec,
+		l:    l,
+		in:   in,
+		opts: opts,
+		n:    l.N(),
+	}
+	// Dedup (and hence any cache use) is sound only for deterministic
+	// deciders on identifier-free evaluations; the engine silently skips it
+	// otherwise, exactly as before.
+	if (opts.Dedup || opts.Cache != nil) && in == nil && dec.DecideRand == nil {
+		if opts.Cache != nil {
+			j.cache, j.shared = opts.Cache, true
+		} else {
+			j.cache = NewViewCache()
+		}
 	}
 	j.stats.Nodes = j.n
 	if !opts.EarlyExit {

@@ -57,36 +57,36 @@ const shardedMinNodes = 64
 // views are decided directly.
 const dedupMaxViewNodes = 64
 
-// cachedVerdict looks up / fills the dedup cache around a decide call.
-// lock is nil for the single-threaded scheduler.
-func cachedVerdict(j *job, cache map[string]Verdict, lock *sync.Mutex, view *graph.View, v int,
-	evaluated, hits *int) Verdict {
-	if cache == nil || view.N() > dedupMaxViewNodes {
+// cachedVerdict looks up / fills the dedup cache around a decide call. The
+// cache handles its own striped locking, so sequential and sharded workers
+// share this path; counters are worker-local and aggregated by the caller.
+func cachedVerdict(j *job, view *graph.View, v int, evaluated, hits, inserted *int) Verdict {
+	if j.cache == nil || view.N() > dedupMaxViewNodes {
 		*evaluated++
 		return j.decideView(view, v)
 	}
-	code := view.ObliviousCode()
-	if lock != nil {
-		lock.Lock()
-	}
-	verdict, ok := cache[code]
-	if lock != nil {
-		lock.Unlock()
-	}
-	if ok {
+	code := view.CanonCode()
+	verdict, computed, stored := j.cache.lookupOrCompute(j.dec.Name, j.dec.Horizon, code,
+		func() Verdict { return j.decideView(view, v) })
+	if computed {
+		*evaluated++
+	} else {
 		*hits++
-		return verdict
 	}
-	verdict = j.decideView(view, v)
-	*evaluated++
-	if lock != nil {
-		lock.Lock()
-	}
-	cache[code] = verdict
-	if lock != nil {
-		lock.Unlock()
+	if stored {
+		*inserted++
 	}
 	return verdict
+}
+
+// finishCacheStats records the cache-side stats after a run.
+func (j *job) finishCacheStats(inserted int) {
+	if j.cache == nil {
+		return
+	}
+	j.stats.DistinctViews = inserted
+	j.stats.CacheSize = j.cache.Len()
+	j.stats.CacheShared = j.shared
 }
 
 type seqScheduler struct{}
@@ -95,14 +95,11 @@ func (seqScheduler) Name() string { return "sequential" }
 
 func (seqScheduler) run(j *job) bool {
 	x := j.extractor()
-	var cache map[string]Verdict
-	if j.dedup {
-		cache = make(map[string]Verdict)
-	}
 	accepted := true
+	inserted := 0
 	for v := 0; v < j.n; v++ {
 		view := x.At(v, j.dec.Horizon)
-		verdict := cachedVerdict(j, cache, nil, view, v, &j.stats.Evaluated, &j.stats.DedupHits)
+		verdict := cachedVerdict(j, view, v, &j.stats.Evaluated, &j.stats.DedupHits, &inserted)
 		if j.verdicts != nil {
 			j.verdicts[v] = verdict
 		}
@@ -114,7 +111,7 @@ func (seqScheduler) run(j *job) bool {
 		}
 	}
 	j.stats.Workers = 1
-	j.stats.DistinctViews = len(cache)
+	j.finishCacheStats(inserted)
 	j.stats.EarlyExit = j.opts.EarlyExit && !accepted
 	return accepted
 }
@@ -141,19 +138,16 @@ func (s shardedScheduler) run(j *job) bool {
 	var (
 		next     atomic.Int64
 		rejected atomic.Bool
-		mu       sync.Mutex // guards cache and stats aggregation
+		mu       sync.Mutex // guards stats aggregation only; the cache stripes its own locks
 		wg       sync.WaitGroup
-		cache    map[string]Verdict
+		inserted int
 	)
-	if j.dedup {
-		cache = make(map[string]Verdict)
-	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			x := j.extractor()
-			evaluated, hits := 0, 0
+			evaluated, hits, ins := 0, 0, 0
 			for {
 				v := int(next.Add(1)) - 1
 				if v >= j.n {
@@ -163,7 +157,7 @@ func (s shardedScheduler) run(j *job) bool {
 					break
 				}
 				view := x.At(v, j.dec.Horizon)
-				verdict := cachedVerdict(j, cache, &mu, view, v, &evaluated, &hits)
+				verdict := cachedVerdict(j, view, v, &evaluated, &hits, &ins)
 				if j.verdicts != nil {
 					j.verdicts[v] = verdict
 				}
@@ -174,13 +168,14 @@ func (s shardedScheduler) run(j *job) bool {
 			mu.Lock()
 			j.stats.Evaluated += evaluated
 			j.stats.DedupHits += hits
+			inserted += ins
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
 	accepted := !rejected.Load()
 	j.stats.Workers = workers
-	j.stats.DistinctViews = len(cache)
+	j.finishCacheStats(inserted)
 	j.stats.EarlyExit = j.opts.EarlyExit && !accepted
 	return accepted
 }

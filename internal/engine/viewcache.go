@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ViewCache is the engine's sharded, concurrency-safe verdict cache: one
+// verdict per distinct canonical view code per (decider name, horizon). The
+// engine creates a private one per evaluation when Options.Dedup is set; a
+// caller that evaluates a family of instances (experiment sweeps, repeated
+// localsim runs, the halting instance family) can create one ViewCache and
+// pass it through Options.Cache so later evaluations reuse verdicts decided
+// in earlier ones — structured instance families share most of their views.
+//
+// Keys are the 64-bit fingerprint of the view's canonical code; the full
+// byte code is stored alongside the verdict and compared on every lookup, so
+// a fingerprint collision degrades to an extra comparison, never to a wrong
+// verdict. Shards are selected by fingerprint, giving lock-striped access
+// with a single critical section per lookup-or-insert (the fix for the
+// seed-era double lock acquisition per miss).
+//
+// Soundness: sharing a verdict across evaluations assumes (a) the decider is
+// a deterministic function of the view's isomorphism class — the LOCAL
+// model's contract for Id-oblivious deciders — and (b) a decider name
+// uniquely identifies one decide function for the cache's lifetime. The
+// engine enforces the conditions it can see (identifier-carrying and
+// randomized evaluations never touch the cache); the naming discipline is
+// the caller's.
+type ViewCache struct {
+	shards [cacheShardCount]cacheShard
+}
+
+// cacheShardCount is a power of two so shard selection is a mask. 64 shards
+// keep worker collisions rare at any plausible GOMAXPROCS.
+const cacheShardCount = 64
+
+// cacheShardMaxEntries bounds each shard. A full shard serves hits but
+// declines inserts (callers decide directly) — the cache silently degrades
+// rather than growing without bound across long sweeps.
+const cacheShardMaxEntries = 1 << 15
+
+type cacheShard struct {
+	mu      sync.Mutex
+	m       map[cacheKey][]cacheEntry
+	entries int
+}
+
+// cacheKey scopes a verdict to one decider and horizon, so one cache can be
+// shared across different deciders and radii without cross-talk.
+type cacheKey struct {
+	decider string
+	horizon int
+	fp      uint64
+}
+
+type cacheEntry struct {
+	code    []byte // full canonical code: collision verification
+	verdict Verdict
+}
+
+// NewViewCache returns an empty cache ready for concurrent use.
+func NewViewCache() *ViewCache {
+	c := &ViewCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey][]cacheEntry)
+	}
+	return c
+}
+
+// Len returns the total number of cached verdicts across all shards.
+func (c *ViewCache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.entries
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// lookupOrCompute returns the verdict for code under (decider, horizon),
+// computing and inserting it on a miss. computed reports whether this call
+// ran compute; stored whether the result entered the cache (false when the
+// shard is at its cap). The whole lookup-or-insert is one critical section
+// on the code's shard: on a miss the decider runs under the shard lock,
+// which serialises same-shard misses but removes the second lock
+// acquisition and the duplicated decide the seed-era cache allowed. In the
+// dedup regime misses are rare by construction (that is the regime's
+// point), and the fingerprint striping keeps first-run miss storms spread
+// over the shards.
+//
+// code.Bytes is cloned before compute runs: the bytes alias the caller's
+// CodeWorkspace, and a decider that computes further codes (benchmarks and
+// code-hashing deciders do) rewrites that buffer mid-compute.
+func (c *ViewCache) lookupOrCompute(decider string, horizon int, code graph.Code,
+	compute func() Verdict) (verdict Verdict, computed, stored bool) {
+	s := &c.shards[code.Fingerprint&(cacheShardCount-1)]
+	key := cacheKey{decider: decider, horizon: horizon, fp: code.Fingerprint}
+	s.mu.Lock()
+	for _, e := range s.m[key] {
+		if bytes.Equal(e.code, code.Bytes) {
+			verdict = e.verdict
+			s.mu.Unlock()
+			return verdict, false, false
+		}
+	}
+	if s.entries >= cacheShardMaxEntries {
+		s.mu.Unlock()
+		return compute(), true, false
+	}
+	defer s.mu.Unlock()
+	owned := append([]byte(nil), code.Bytes...)
+	verdict = compute()
+	s.m[key] = append(s.m[key], cacheEntry{code: owned, verdict: verdict})
+	s.entries++
+	return verdict, true, true
+}

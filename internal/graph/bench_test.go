@@ -26,6 +26,49 @@ func BenchmarkCanonicalCodeIR(b *testing.B) {
 	}
 }
 
+// The integer pipeline against the legacy string encoder on the same
+// inputs: the ratio here is the per-key cost cut the engine's dedup cache
+// sees, and the -benchmem delta is the point (the fast path should be
+// allocation-free once the workspace has warmed up).
+func BenchmarkCanonicalCodeFastVsLegacy(b *testing.B) {
+	gs := benchGraphs()
+	b.Run("legacy-string", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RootedCanonicalCode(gs[i%len(gs)], 0)
+		}
+	})
+	b.Run("fast-workspace", func(b *testing.B) {
+		w := NewCodeWorkspace()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.RootedCode(gs[i%len(gs)], 0)
+		}
+	})
+	b.Run("fast-fresh-workspace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NewCodeWorkspace().RootedCode(gs[i%len(gs)], 0)
+		}
+	})
+}
+
+// Extraction plus code computation — the engine's dedup inner loop — with
+// everything routed through one extractor-owned workspace.
+func BenchmarkViewCanonCode(b *testing.B) {
+	hosts := map[string]*Labeled{
+		"cycle10000": UniformlyLabeled(Cycle(10000), "c"),
+		"grid20x20":  UniformlyLabeled(Grid(20, 20), "g"),
+	}
+	for name, l := range hosts {
+		b.Run(name, func(b *testing.B) {
+			x := NewViewExtractor(l)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.At((i*37)%l.N(), 2).CanonCode()
+			}
+		})
+	}
+}
+
 func BenchmarkIsomorphismViaCodes(b *testing.B) {
 	gs := benchGraphs()
 	b.ResetTimer()

@@ -102,12 +102,17 @@ func densify(signatures []string) ([]int, int) {
 	return out, len(index)
 }
 
+// countClasses returns the number of colour classes. Colourings here are
+// always dense (densify and the individualisation step both preserve
+// density), so the count is one past the largest colour — no map needed.
 func countClasses(colors []int) int {
-	seen := make(map[int]struct{}, len(colors))
+	k := 0
 	for _, c := range colors {
-		seen[c] = struct{}{}
+		if c >= k {
+			k = c + 1
+		}
 	}
-	return len(seen)
+	return k
 }
 
 // canonicalCode performs the individualisation-refinement search.
@@ -138,23 +143,19 @@ func canonicalCode(in canonInput) string {
 }
 
 // firstNonSingleton returns the smallest colour with more than one member, or
-// -1 if the colouring is discrete.
+// -1 if the colouring is discrete. The colouring is dense, so one counting
+// slice replaces the previous map-and-sort.
 func firstNonSingleton(colors []int) int {
-	count := make(map[int]int, len(colors))
+	counts := make([]int, countClasses(colors))
 	for _, c := range colors {
-		count[c]++
+		counts[c]++
 	}
-	cands := make([]int, 0, len(count))
-	for c, k := range count {
+	for c, k := range counts {
 		if k > 1 {
-			cands = append(cands, c)
+			return c
 		}
 	}
-	if len(cands) == 0 {
-		return -1
-	}
-	sort.Ints(cands)
-	return cands[0]
+	return -1
 }
 
 // encodeByColorOrder serialises the graph with nodes ordered by their (now
@@ -254,12 +255,14 @@ func RootedRefinementCode(l *Labeled, root int) string {
 }
 
 // Isomorphic reports whether two labelled graphs are isomorphic respecting
-// labels, via canonical codes.
+// labels, via canonical codes (the integer pipeline; see code.go).
 func Isomorphic(a, b *Labeled) bool {
 	if a.N() != b.N() || a.G.M() != b.G.M() {
 		return false
 	}
-	return CanonicalCode(a) == CanonicalCode(b)
+	w := NewCodeWorkspace()
+	ca := w.GraphCode(a).Clone()
+	return ca.Equal(w.GraphCode(b))
 }
 
 // RootedIsomorphic reports whether two rooted labelled graphs are isomorphic
@@ -268,5 +271,7 @@ func RootedIsomorphic(a *Labeled, rootA int, b *Labeled, rootB int) bool {
 	if a.N() != b.N() || a.G.M() != b.G.M() {
 		return false
 	}
-	return RootedCanonicalCode(a, rootA) == RootedCanonicalCode(b, rootB)
+	w := NewCodeWorkspace()
+	ca := w.RootedCode(a, rootA).Clone()
+	return ca.Equal(w.RootedCode(b, rootB))
 }

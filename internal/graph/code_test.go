@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential suite: the integer/fingerprint pipeline (code.go) against the
+// legacy string implementation (canon.go). The two encoders produce
+// different bytes by design; what must coincide exactly is the equivalence
+// they induce — equal codes iff isomorphic — over every graph family the
+// reproduction exercises.
+
+// randomTree returns a random labelled tree on n nodes (random attachment).
+func randomTree(n int, rng *rand.Rand, alphabet []Label) *Labeled {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	labels := make([]Label, n)
+	for v := range labels {
+		labels[v] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return NewLabeled(g, labels)
+}
+
+// diffFamily generates the differential-test corpus for one seed: random
+// trees, labelled cycles, bounded-degree random graphs and a grid, each in a
+// couple of label regimes (uniform labels maximise symmetry, random labels
+// maximise classes).
+func diffFamily(seed int64) []*Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	ab := []Label{"a", "b"}
+	n := 5 + rng.Intn(8)
+	return []*Labeled{
+		randomTree(n, rng, ab),
+		randomTree(n, rng, []Label{"x"}),
+		UniformlyLabeled(Cycle(n), "c"),
+		RandomLabels(Cycle(n), ab, seed+1),
+		RandomLabels(Random(n, 0.3, seed+2), ab, seed+3),
+		UniformlyLabeled(Grid(3, 3), "g"),
+		RandomLabels(CompleteBinaryTree(3), ab, seed+4),
+	}
+}
+
+// TestCodeMatchesLegacyEquivalence is the core differential property: over
+// all pairs from the corpus (including relabelled copies, which are
+// isomorphic by construction), the fast codes are equal iff the legacy
+// string codes are equal — rooted and unrooted.
+func TestCodeMatchesLegacyEquivalence(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		family := diffFamily(seed)
+		// Add relabelled twins so the corpus contains isomorphic pairs, not
+		// just (mostly) non-isomorphic ones.
+		for _, l := range family[:3] {
+			family = append(family, l.Relabel(rng.Perm(l.N())))
+		}
+		w := NewCodeWorkspace()
+		for i, a := range family {
+			ca := w.GraphCode(a).Clone()
+			caRoot := w.RootedCode(a, 0).Clone()
+			for _, b := range family[i:] {
+				legacyEq := CanonicalCode(a) == CanonicalCode(b)
+				fastEq := ca.Equal(w.GraphCode(b))
+				if legacyEq != fastEq {
+					t.Logf("seed=%d: unrooted divergence (legacy %v, fast %v) on %v vs %v",
+						seed, legacyEq, fastEq, a, b)
+					return false
+				}
+				if b.N() == 0 {
+					continue
+				}
+				legacyEq = RootedCanonicalCode(a, 0) == RootedCanonicalCode(b, 0)
+				fastEq = caRoot.Equal(w.RootedCode(b, 0))
+				if legacyEq != fastEq {
+					t.Logf("seed=%d: rooted divergence (legacy %v, fast %v) on %v vs %v",
+						seed, legacyEq, fastEq, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCodeInvariantUnderRelabel pins the isomorphism-invariance of the fast
+// code directly: relabelling (with the root mapped along) never changes it.
+func TestCodeInvariantUnderRelabel(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewCodeWorkspace()
+		for _, l := range diffFamily(seed) {
+			if l.N() == 0 {
+				continue
+			}
+			perm := rng.Perm(l.N())
+			root := rng.Intn(l.N())
+			orig := w.RootedCode(l, root).Clone()
+			if !orig.Equal(w.RootedCode(l.Relabel(perm), perm[root])) {
+				t.Logf("seed=%d: code not invariant on %v", seed, l)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCodeAgainstBruteForce cross-checks equal-iff-isomorphic against the
+// exponential oracle on small graphs, independent of the legacy encoder.
+func TestCodeAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var small []*Labeled
+	for i := 0; i < 8; i++ {
+		small = append(small, randomTree(5, rng, []Label{"a", "b"}))
+		small = append(small, RandomLabels(Random(5, 0.4, int64(i)), []Label{"a", "b"}, int64(i+50)))
+	}
+	w := NewCodeWorkspace()
+	for i, a := range small {
+		ca := w.RootedCode(a, 0).Clone()
+		for _, b := range small[i:] {
+			want := BruteForceRootedIsomorphic(a, 0, b, 0)
+			got := ca.Equal(w.RootedCode(b, 0))
+			if got != want {
+				t.Fatalf("fast code equality %v, brute force %v on pair %d", got, want, i)
+			}
+		}
+	}
+}
+
+// TestViewCodesMatchAcrossPaths pins the three ways of computing a view code
+// against each other: the one-shot view, the extractor-produced view (shared
+// workspace) and a direct workspace call must all agree, and the string form
+// must be the byte form verbatim.
+func TestViewCodesMatchAcrossPaths(t *testing.T) {
+	l := RandomLabels(Grid(5, 5), []Label{"a", "b"}, 3)
+	x := NewViewExtractor(l)
+	w := NewCodeWorkspace()
+	for v := 0; v < l.N(); v++ {
+		oneShot := ObliviousViewOf(l, v, 2)
+		fromExtractor := x.At(v, 2).CanonCode().Clone()
+		direct := w.RootedCode(oneShot.Labeled, oneShot.Root).Clone()
+		if !fromExtractor.Equal(direct) {
+			t.Fatalf("node %d: extractor and direct codes differ", v)
+		}
+		if oneShot.ObliviousCode() != string(direct.Bytes) {
+			t.Fatalf("node %d: ObliviousCode string is not the byte code", v)
+		}
+	}
+}
+
+// TestWorkspaceReuseIsPure computes a sequence of codes with one reused
+// workspace and checks each against a fresh workspace: buffer reuse must
+// never leak state between calls.
+func TestWorkspaceReuseIsPure(t *testing.T) {
+	reused := NewCodeWorkspace()
+	for _, l := range diffFamily(11) {
+		if l.N() == 0 {
+			continue
+		}
+		got := reused.RootedCode(l, 0).Clone()
+		want := NewCodeWorkspace().RootedCode(l, 0)
+		if !got.Equal(want) {
+			t.Fatalf("workspace reuse changed the code of %v", l)
+		}
+	}
+}
+
+// TestFingerprintIsFNVOfBytes pins the fingerprint definition: deterministic
+// FNV-1a over the byte code, so cache keys are stable across workspaces,
+// goroutines and runs.
+func TestFingerprintIsFNVOfBytes(t *testing.T) {
+	w := NewCodeWorkspace()
+	c := w.RootedCode(UniformlyLabeled(Cycle(9), "c"), 0)
+	if c.Fingerprint != fingerprint64(c.Bytes) {
+		t.Fatal("fingerprint is not FNV-1a of the byte code")
+	}
+	again := NewCodeWorkspace().RootedCode(UniformlyLabeled(Cycle(9), "c"), 0)
+	if c.Fingerprint != again.Fingerprint || !bytes.Equal(c.Bytes, again.Bytes) {
+		t.Fatal("code not deterministic across workspaces")
+	}
+}
+
+// TestCodeEmptyAndSingle covers the degenerate inputs.
+func TestCodeEmptyAndSingle(t *testing.T) {
+	w := NewCodeWorkspace()
+	empty := w.GraphCode(NewLabeled(New(0), nil)).Clone()
+	single := w.GraphCode(UniformlyLabeled(New(1), "x")).Clone()
+	if empty.Equal(single) {
+		t.Fatal("empty and single-node codes collide")
+	}
+	if !empty.Equal(NewCodeWorkspace().GraphCode(NewLabeled(New(0), nil))) {
+		t.Fatal("empty code not deterministic")
+	}
+}
+
+// TestCloneDetaches checks that Clone survives workspace reuse.
+func TestCloneDetaches(t *testing.T) {
+	w := NewCodeWorkspace()
+	a := w.RootedCode(UniformlyLabeled(Cycle(6), "c"), 0).Clone()
+	saved := append([]byte(nil), a.Bytes...)
+	w.RootedCode(UniformlyLabeled(Star(8), "s"), 0) // overwrite workspace buffer
+	if !bytes.Equal(a.Bytes, saved) {
+		t.Fatal("Clone did not detach from workspace memory")
+	}
+}

@@ -41,6 +41,11 @@ type ViewExtractor struct {
 	g       Graph
 	labeled Labeled
 	view    View
+
+	// code is the canonical-code workspace shared by every view this
+	// extractor produces, so code computation in the engine's inner loop
+	// reuses one set of buffers end to end.
+	code *CodeWorkspace
 }
 
 // NewViewExtractor returns an extractor producing ID-free views of l
@@ -51,6 +56,7 @@ func NewViewExtractor(l *Labeled) *ViewExtractor {
 		l:         l,
 		stamp:     make([]int, n),
 		viewIndex: make([]int, n),
+		code:      NewCodeWorkspace(),
 	}
 }
 
@@ -116,7 +122,7 @@ func (x *ViewExtractor) At(v, t int) *View {
 
 	x.g.adj = x.adjStore[:k]
 	x.labeled = Labeled{G: &x.g, Labels: x.labels[:k]}
-	x.view = View{Labeled: &x.labeled, Root: 0, Radius: t, Original: x.orig[:k]}
+	x.view = View{Labeled: &x.labeled, Root: 0, Radius: t, Original: x.orig[:k], ws: x.code}
 	if x.ids != nil {
 		x.view.IDs = x.outIDs[:k]
 	}

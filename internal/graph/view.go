@@ -19,6 +19,11 @@ type View struct {
 	Radius   int
 	IDs      []int // identifier per view node; nil when extracted from a Labeled
 	Original []int // view index -> node index in the parent graph
+
+	// ws is the canonical-code workspace the view's code computations run
+	// in. Views produced by a ViewExtractor share the extractor's workspace;
+	// one-shot views create their own lazily. Not safe for concurrent use.
+	ws *CodeWorkspace
 }
 
 // ViewOf extracts the radius-t view of node v from an instance, including
@@ -43,15 +48,35 @@ func ObliviousViewOf(l *Labeled, v, t int) *View {
 
 // StripIDs returns a copy of the view with identifiers removed.
 func (v *View) StripIDs() *View {
-	return &View{Labeled: v.Labeled, Root: v.Root, Radius: v.Radius, Original: v.Original}
+	return &View{Labeled: v.Labeled, Root: v.Root, Radius: v.Radius, Original: v.Original, ws: v.ws}
+}
+
+// workspace returns the view's canonical-code workspace, creating one on
+// first use for views not produced by a ViewExtractor.
+func (v *View) workspace() *CodeWorkspace {
+	if v.ws == nil {
+		v.ws = NewCodeWorkspace()
+	}
+	return v.ws
+}
+
+// CanonCode is the fingerprinted canonical code of the view ignoring
+// identifiers, computed by the allocation-free integer pipeline in the
+// view's workspace. The returned bytes alias workspace memory: they are
+// valid until the next code computation on a view sharing the workspace
+// (for extractor-produced views, until the extractor's next At). Callers
+// that retain the code must Clone it.
+func (v *View) CanonCode() Code {
+	return v.workspace().RootedCode(v.Labeled, v.Root)
 }
 
 // ObliviousCode is the canonical code of the view ignoring identifiers: two
 // nodes receive the same ObliviousCode iff no Id-oblivious algorithm with this
 // horizon can distinguish them. (Kept label-only so renaming IDs never changes
-// the code.)
+// the code.) The string is a copy of CanonCode's bytes; the legacy string
+// encoder remains available as RootedCanonicalCode for differential testing.
 func (v *View) ObliviousCode() string {
-	return RootedCanonicalCode(v.Labeled, v.Root)
+	return string(v.CanonCode().Bytes)
 }
 
 // Code is the canonical code of the view including identifiers: the full
@@ -67,7 +92,7 @@ func (v *View) Code() string {
 		labels[i] = lab + "#id=" + strconv.Itoa(v.IDs[i])
 	}
 	withIDs := &Labeled{G: v.G, Labels: labels}
-	return RootedCanonicalCode(withIDs, v.Root)
+	return string(v.workspace().RootedCode(withIDs, v.Root).Bytes)
 }
 
 // RootID returns the identifier of the view's root.
@@ -112,11 +137,14 @@ func AllObliviousViews(l *Labeled, t int) []*View {
 }
 
 // ObliviousViewSet returns the set of distinct oblivious view codes occurring
-// in l at radius t.
+// in l at radius t. Extraction and code computation run through a batched
+// extractor with one shared workspace, so the sweep is allocation-free per
+// node beyond the set itself.
 func ObliviousViewSet(l *Labeled, t int) map[string]struct{} {
 	set := make(map[string]struct{})
+	x := NewViewExtractor(l)
 	for v := 0; v < l.N(); v++ {
-		set[ObliviousViewOf(l, v, t).ObliviousCode()] = struct{}{}
+		set[string(x.At(v, t).CanonCode().Bytes)] = struct{}{}
 	}
 	return set
 }
@@ -136,8 +164,9 @@ func CoverageFraction(host *Labeled, covers []*Labeled, t int) float64 {
 		}
 	}
 	covered := 0
+	x := NewViewExtractor(host)
 	for v := 0; v < host.N(); v++ {
-		if _, ok := available[ObliviousViewOf(host, v, t).ObliviousCode()]; ok {
+		if _, ok := available[string(x.At(v, t).CanonCode().Bytes)]; ok {
 			covered++
 		}
 	}
