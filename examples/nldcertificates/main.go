@@ -46,7 +46,7 @@ func main() {
 			return local.No
 		}
 		nbrs := view.G.Neighbors(view.Root)
-		return local.Verdict(!view.G.HasEdge(nbrs[0], nbrs[1]))
+		return local.Verdict(!view.G.HasEdge(int(nbrs[0]), int(nbrs[1])))
 	})
 	oblivious := hereditary.GuessIDVerifier(alg)
 

@@ -78,17 +78,18 @@ func (p Params) SmallInstance(t *tree.LayeredTree, s tree.Slice) (*graph.Labeled
 	labeledTree := t.Labeled(p.R)
 	sub, orig := labeledTree.InducedSubgraph(nodes)
 	// Append the pivot.
-	g := sub.G.Clone()
-	pivot := g.AddNode()
+	nb := graph.NewBuilderHint(sub.G.N(), sub.G.M()+len(border))
+	nb.AddGraphAt(sub.G, 0)
+	pivot := nb.AddNode()
 	pos := make(map[int]int, len(orig))
 	for i, v := range orig {
 		pos[v] = i
 	}
 	for _, b := range border {
-		g.AddEdge(pivot, pos[b])
+		nb.AddEdge(pivot, pos[b])
 	}
 	labels := append(append([]graph.Label(nil), sub.Labels...), tree.PivotLabel(p.R))
-	return graph.NewLabeled(g, labels), nil
+	return graph.NewLabeled(nb.Build(), labels), nil
 }
 
 // AllSmallInstances builds every H+ in H_r.

@@ -135,7 +135,7 @@ func TestStructureVerifierRejectsCorruption(t *testing.T) {
 			g := h.G.Clone()
 			second := g.AddNode()
 			for _, u := range h.G.Neighbors(pivot) {
-				g.AddEdge(second, u)
+				g.AddEdge(second, int(u))
 			}
 			labels := append(append([]graph.Label(nil), h.Labels...), tree.PivotLabel(p.R))
 			return graph.NewLabeled(g, labels)

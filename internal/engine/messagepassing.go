@@ -87,7 +87,7 @@ func (mpScheduler) run(j *job) bool {
 	chans := make(map[edgeKey]chan *knowledge, 2*j.l.G.M())
 	for u := 0; u < n; u++ {
 		for _, v := range j.l.G.Neighbors(u) {
-			chans[edgeKey{from: u, to: v}] = make(chan *knowledge, 1)
+			chans[edgeKey{from: u, to: int(v)}] = make(chan *knowledge, 1)
 		}
 	}
 
@@ -105,7 +105,7 @@ func (mpScheduler) run(j *job) bool {
 			know.labels[v] = j.l.Labels[v]
 			know.ids[v] = idOf(v)
 			for _, u := range j.l.G.Neighbors(v) {
-				know.addEdge(v, u)
+				know.addEdge(v, int(u))
 			}
 			sent, units := 0, 0
 			for round := 0; round < t; round++ {
@@ -114,12 +114,12 @@ func (mpScheduler) run(j *job) bool {
 				// synchronisation barrier with the local neighbourhood.
 				snapshot := know.clone()
 				for _, u := range j.l.G.Neighbors(v) {
-					chans[edgeKey{from: v, to: u}] <- snapshot
+					chans[edgeKey{from: v, to: int(u)}] <- snapshot
 					sent++
 					units += len(snapshot.labels)
 				}
 				for _, u := range j.l.G.Neighbors(v) {
-					know.merge(<-chans[edgeKey{from: u, to: v}])
+					know.merge(<-chans[edgeKey{from: int(u), to: v}])
 				}
 			}
 			// The protocol itself must run to completion (neighbours depend
@@ -168,14 +168,15 @@ func assembleView(know *knowledge, centre, t int) *graph.View {
 	for i, v := range order {
 		index[v] = i
 	}
-	g := graph.New(len(order))
+	b := graph.NewBuilderHint(len(order), len(know.edges))
 	for e := range know.edges {
 		u, okU := index[e[0]]
 		w, okW := index[e[1]]
 		if okU && okW {
-			g.AddEdge(u, w)
+			b.AddEdge(u, w)
 		}
 	}
+	g := b.Build()
 	labels := make([]graph.Label, len(order))
 	idsSlice := make([]int, len(order))
 	for i, v := range order {

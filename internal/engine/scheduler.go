@@ -65,6 +65,19 @@ func cachedVerdict(j *job, view *graph.View, v int, evaluated, hits, inserted *i
 		*evaluated++
 		return j.decideView(view, v)
 	}
+	// First level: the raw-structure key — one linear pass over the view's
+	// flat CSR arena. Structured instances repeat neighbourhoods
+	// byte-for-byte (extraction order is a function of structure), so the
+	// common case never pays for a canonical code.
+	raw := view.RawCode()
+	if verdict, ok := j.cache.lookupRaw(j.dec.Name, j.dec.Horizon, raw); ok {
+		*hits++
+		return verdict
+	}
+	// Second level: the canonical code, catching views that repeat only up
+	// to isomorphism. The raw bytes live in their own workspace buffer, so
+	// they survive the canonical computation below and can seed the raw
+	// layer afterwards.
 	code := view.CanonCode()
 	verdict, computed, stored := j.cache.lookupOrCompute(j.dec.Name, j.dec.Horizon, code,
 		func() Verdict { return j.decideView(view, v) })
@@ -76,6 +89,7 @@ func cachedVerdict(j *job, view *graph.View, v int, evaluated, hits, inserted *i
 	if stored {
 		*inserted++
 	}
+	j.cache.storeRaw(j.dec.Name, j.dec.Horizon, raw, verdict)
 	return verdict
 }
 

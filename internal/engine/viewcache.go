@@ -46,18 +46,27 @@ type cacheShard struct {
 	mu      sync.Mutex
 	m       map[cacheKey][]cacheEntry
 	entries int
+	// rawEntries counts first-level raw-structure entries, capped separately
+	// so the raw layer can never crowd out canonical verdicts (or vice
+	// versa). Raw entries are an accelerator: not reported by Len.
+	rawEntries int
 }
 
 // cacheKey scopes a verdict to one decider and horizon, so one cache can be
-// shared across different deciders and radii without cross-talk.
+// shared across different deciders and radii without cross-talk. raw marks
+// the first-level raw-structure namespace: raw codes and canonical codes are
+// different encodings of different equivalence relations, so their entries
+// must never be compared against each other even under a fingerprint
+// collision.
 type cacheKey struct {
 	decider string
 	horizon int
 	fp      uint64
+	raw     bool
 }
 
 type cacheEntry struct {
-	code    []byte // full canonical code: collision verification
+	code    []byte // full code bytes (canonical or raw): collision verification
 	verdict Verdict
 }
 
@@ -118,4 +127,44 @@ func (c *ViewCache) lookupOrCompute(decider string, horizon int, code graph.Code
 	s.m[key] = append(s.m[key], cacheEntry{code: owned, verdict: verdict})
 	s.entries++
 	return verdict, true, true
+}
+
+// lookupRaw consults the first-level raw-structure layer: verdicts keyed by
+// the view's exact extracted byte encoding (graph.View.RawCode). A hit means
+// a byte-identical rooted labelled view was decided before — sound because
+// byte-identical views are isomorphic a fortiori. Misses are expected for
+// views whose structure repeats only up to isomorphism; callers fall back to
+// the canonical-code layer.
+func (c *ViewCache) lookupRaw(decider string, horizon int, raw graph.Code) (Verdict, bool) {
+	s := &c.shards[raw.Fingerprint&(cacheShardCount-1)]
+	key := cacheKey{decider: decider, horizon: horizon, fp: raw.Fingerprint, raw: true}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.m[key] {
+		if bytes.Equal(e.code, raw.Bytes) {
+			return e.verdict, true
+		}
+	}
+	return No, false
+}
+
+// storeRaw records a verdict under a view's raw-structure key so future
+// byte-identical extractions skip the canonical code entirely. Raw entries
+// obey their own per-shard cap; beyond it the raw layer degrades to a
+// pass-through and the canonical layer still serves.
+func (c *ViewCache) storeRaw(decider string, horizon int, raw graph.Code, verdict Verdict) {
+	s := &c.shards[raw.Fingerprint&(cacheShardCount-1)]
+	key := cacheKey{decider: decider, horizon: horizon, fp: raw.Fingerprint, raw: true}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rawEntries >= cacheShardMaxEntries {
+		return
+	}
+	for _, e := range s.m[key] {
+		if bytes.Equal(e.code, raw.Bytes) {
+			return // another worker stored it first
+		}
+	}
+	s.m[key] = append(s.m[key], cacheEntry{code: append([]byte(nil), raw.Bytes...), verdict: verdict})
+	s.rawEntries++
 }

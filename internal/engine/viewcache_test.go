@@ -190,3 +190,85 @@ func TestCrossRunCacheParityOnFamily(t *testing.T) {
 		}
 	}
 }
+
+// TestRawLayerNamespaceSeparation: a raw entry and a canonical entry with the
+// same fingerprint and the same bytes must never be confused — the raw flag
+// keys two disjoint namespaces.
+func TestRawLayerNamespaceSeparation(t *testing.T) {
+	c := NewViewCache()
+	code := graph.Code{Fingerprint: 9, Bytes: []byte("same-bytes")}
+	c.lookupOrCompute("d", 1, code, func() Verdict { return Yes })
+	if _, ok := c.lookupRaw("d", 1, code); ok {
+		t.Fatal("canonical entry leaked into the raw namespace")
+	}
+	c.storeRaw("d", 1, code, No)
+	if v, ok := c.lookupRaw("d", 1, code); !ok || v != No {
+		t.Fatalf("raw entry not served: (%v, %v)", v, ok)
+	}
+	if v, computed, _ := c.lookupOrCompute("d", 1, code, func() Verdict { t.Fatal("recompute"); return No }); v != Yes || computed {
+		t.Fatalf("raw entry overwrote the canonical verdict: (%v, %v)", v, computed)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len must count canonical entries only, got %d", c.Len())
+	}
+}
+
+// TestRawLayerScoping mirrors TestViewCacheKeyScoping for the raw layer.
+func TestRawLayerScoping(t *testing.T) {
+	c := NewViewCache()
+	code := graph.Code{Fingerprint: 3, Bytes: []byte("r")}
+	c.storeRaw("a", 1, code, Yes)
+	if _, ok := c.lookupRaw("b", 1, code); ok {
+		t.Fatal("decider name not part of the raw key")
+	}
+	if _, ok := c.lookupRaw("a", 2, code); ok {
+		t.Fatal("horizon not part of the raw key")
+	}
+	if v, ok := c.lookupRaw("a", 1, code); !ok || v != Yes {
+		t.Fatalf("raw entry lost: (%v, %v)", v, ok)
+	}
+}
+
+// TestRawCodeDistinguishesViews: raw codes must differ whenever structure,
+// labels or root differ — the soundness direction of the raw dedup layer
+// (equal raw code => identical view).
+func TestRawCodeDistinguishesViews(t *testing.T) {
+	host := graph.UniformlyLabeled(graph.Path(5), "x")
+	a := graph.ObliviousViewOf(host, 0, 1) // path end: 2-node view
+	b := graph.ObliviousViewOf(host, 2, 1) // interior: 3-node view
+	c := graph.ObliviousViewOf(host, 3, 1) // interior elsewhere: same shape as b
+	ra := a.RawCode().Clone()
+	rb := b.RawCode().Clone()
+	rc := c.RawCode().Clone()
+	if ra.Equal(rb) {
+		t.Fatal("different-size views share a raw code")
+	}
+	if !rb.Equal(rc) {
+		t.Fatal("byte-identical interior views must share a raw code")
+	}
+	labelled := graph.NewLabeled(host.G, []graph.Label{"x", "x", "y", "x", "x"})
+	d := graph.ObliviousViewOf(labelled, 3, 1)
+	if d.RawCode().Equal(rc) {
+		t.Fatal("label change must change the raw code")
+	}
+}
+
+// TestRawLayerParityWithDedup: evaluating with dedup (raw layer active) must
+// produce verdicts identical to a dedup-free evaluation on an instance whose
+// views repeat only up to isomorphism (so both cache levels get exercised).
+func TestRawLayerParityWithDedup(t *testing.T) {
+	l := graph.RandomLabels(graph.Random(60, 0.1, 3), []graph.Label{"a", "b"}, 4)
+	dec := Decider{Name: "parity-raw", Horizon: 2, Decide: func(view *graph.View) Verdict {
+		return Verdict(view.G.Degree(view.Root)%2 == 0)
+	}}
+	plain := EvalOblivious(dec, l, Options{})
+	dedup := EvalOblivious(dec, l, Options{Dedup: true})
+	for v := range plain.Verdicts {
+		if plain.Verdicts[v] != dedup.Verdicts[v] {
+			t.Fatalf("verdict mismatch at node %d", v)
+		}
+	}
+	if dedup.Stats.DedupHits+dedup.Stats.Evaluated != l.N() {
+		t.Fatalf("hits %d + evaluated %d != n %d", dedup.Stats.DedupHits, dedup.Stats.Evaluated, l.N())
+	}
+}

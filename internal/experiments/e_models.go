@@ -116,7 +116,7 @@ func RunE11(cfg Config) (*Result, error) {
 			return local.No
 		}
 		nbrs := view.G.Neighbors(view.Root)
-		if view.G.HasEdge(nbrs[0], nbrs[1]) {
+		if view.G.HasEdge(int(nbrs[0]), int(nbrs[1])) {
 			return local.No
 		}
 		return local.Yes

@@ -1,7 +1,9 @@
 package graph
 
 // BFSFrom runs a breadth-first search from source and returns the distance to
-// every node; unreachable nodes get distance -1.
+// every node; unreachable nodes get distance -1. The traversal walks the flat
+// CSR neighbour array directly, so each node's edge scan is one contiguous
+// int32 range.
 func (g *Graph) BFSFrom(source int) []int {
 	g.check(source)
 	dist := make([]int, g.N())
@@ -13,10 +15,10 @@ func (g *Graph) BFSFrom(source int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.adj[v] {
+		for _, u := range g.row(v) {
 			if dist[u] == -1 {
 				dist[u] = dist[v] + 1
-				queue = append(queue, u)
+				queue = append(queue, int(u))
 			}
 		}
 	}
@@ -37,11 +39,11 @@ func (g *Graph) Ball(v, t int) []int {
 	for d := 0; d < t && len(frontier) > 0; d++ {
 		var next []int
 		for _, w := range frontier {
-			for _, u := range g.adj[w] {
-				if _, seen := dist[u]; !seen {
-					dist[u] = d + 1
-					next = append(next, u)
-					ball = append(ball, u)
+			for _, u := range g.row(w) {
+				if _, seen := dist[int(u)]; !seen {
+					dist[int(u)] = d + 1
+					next = append(next, int(u))
+					ball = append(ball, int(u))
 				}
 			}
 		}
@@ -84,11 +86,11 @@ func (g *Graph) ConnectedComponents() [][]int {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, u := range g.adj[v] {
+			for _, u := range g.row(v) {
 				if comp[u] == -1 {
 					comp[u] = id
-					nodes = append(nodes, u)
-					queue = append(queue, u)
+					nodes = append(nodes, int(u))
+					queue = append(queue, int(u))
 				}
 			}
 		}
@@ -148,12 +150,12 @@ func (g *Graph) HasCycle() bool {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, u := range g.adj[v] {
+			for _, u := range g.row(v) {
 				if !visited[u] {
 					visited[u] = true
 					parent[u] = v
-					stack = append(stack, u)
-				} else if parent[v] != u {
+					stack = append(stack, int(u))
+				} else if parent[v] != int(u) {
 					return true
 				}
 			}
@@ -163,6 +165,14 @@ func (g *Graph) HasCycle() bool {
 }
 
 func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+func sortInt32s(s []int32) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j-1] > s[j]; j-- {
 			s[j-1], s[j] = s[j], s[j-1]

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates an undirected edge list and freezes it into a CSR
+// Graph in O(n + m) total via two stable counting-sort passes. It replaces
+// the legacy per-edge sorted insertion (O(m·Δ) construction) on every bulk
+// construction path: generators, layered trees, pyramids, Turing-table
+// assemblies and the engine's message-passing view graphs.
+//
+// Contract:
+//   - AddEdge(u, v) records the edge; both endpoints must already exist
+//     (AddNode grows the node set). Self-loops panic, matching the legacy
+//     mutator. Duplicate and reversed pairs are welcome — Build dedups.
+//   - Build freezes the accumulated edges into a new Graph with sorted,
+//     deduplicated rows. The builder remains usable afterwards (further
+//     AddEdge calls followed by another Build produce a graph with the
+//     union of all edges recorded so far).
+//
+// Node indices must fit int32 (checked); a Builder is not safe for
+// concurrent use.
+type Builder struct {
+	n        int
+	from, to []int32
+}
+
+// NewBuilder returns a builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	checkInt32Range(n)
+	return &Builder{n: n}
+}
+
+// NewBuilderHint is NewBuilder with the edge buffers pre-sized for mHint
+// edges, avoiding append regrowth when the final edge count is known.
+func NewBuilderHint(n, mHint int) *Builder {
+	b := NewBuilder(n)
+	if mHint > 0 {
+		b.from = make([]int32, 0, mHint)
+		b.to = make([]int32, 0, mHint)
+	}
+	return b
+}
+
+// N returns the current node count.
+func (b *Builder) N() int { return b.n }
+
+// AddNode appends a new isolated node and returns its index.
+func (b *Builder) AddNode() int {
+	checkInt32Range(b.n + 1)
+	b.n++
+	return b.n - 1
+}
+
+// AddEdge records the undirected edge {u, v}. Duplicates are removed by
+// Build; self-loops and out-of-range endpoints panic.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	b.from = append(b.from, int32(u))
+	b.to = append(b.to, int32(v))
+}
+
+// AddGraphAt records every edge of g with node indices shifted by offset —
+// the bulk idiom for assembling disjoint components (pyramids over table
+// fragments, etc.) into one instance.
+func (b *Builder) AddGraphAt(g *Graph, offset int) {
+	if offset < 0 || offset+g.N() > b.n {
+		panic(fmt.Sprintf("graph: component [%d,%d) out of range [0,%d)", offset, offset+g.N(), b.n))
+	}
+	for u, n := 0, g.N(); u < n; u++ {
+		for _, v := range g.row(u) {
+			if int32(u) < v {
+				b.from = append(b.from, int32(u+offset))
+				b.to = append(b.to, v+int32(offset))
+			}
+		}
+	}
+}
+
+// Build freezes the recorded edges into a CSR graph in three passes over the
+// half-edges: a counting pass sizes every row, a single scatter pass drops
+// each half-edge into its source's row, and a compaction pass sorts rows
+// that need it (generator edge streams arrive in row order, so the
+// ascending-row fast path usually skips the sort) and squeezes out adjacent
+// duplicates in place. Total work is O(n + m) plus O(Δ log Δ) for each row
+// that arrives unsorted; memory beyond the result is two n-sized counting
+// arrays.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	// The half-edge total must fit the int32 offsets (2^31-2 half-edges,
+	// i.e. 2^30 undirected edges); beyond that the counting accumulator
+	// would wrap silently.
+	if len(b.from) > (1<<31-2)/2 {
+		panic(fmt.Sprintf("graph: %d recorded edges exceed the int32 CSR bound", len(b.from)))
+	}
+	counts := make([]int32, n)
+	for _, u := range b.from {
+		counts[u]++
+	}
+	for _, v := range b.to {
+		counts[v]++
+	}
+	offsets := make([]int32, n+1)
+	pos := make([]int32, n)
+	sum := int32(0)
+	for v := 0; v < n; v++ {
+		offsets[v] = sum
+		pos[v] = sum
+		sum += counts[v]
+	}
+	offsets[n] = sum
+	neighbors := make([]int32, sum)
+	for i, u := range b.from {
+		v := b.to[i]
+		neighbors[pos[u]] = v
+		pos[u]++
+		neighbors[pos[v]] = u
+		pos[v]++
+	}
+	// Compaction: sort each row if its half-edges arrived out of order, then
+	// drop adjacent duplicates, sliding the flat array left in place (the
+	// write cursor never passes the read cursor).
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		start, end := offsets[v], offsets[v+1]
+		row := neighbors[start:end]
+		for i := 1; i < len(row); i++ {
+			if row[i-1] > row[i] {
+				sortInt32Row(row)
+				break
+			}
+		}
+		offsets[v] = w
+		prev := int32(-1)
+		for _, u := range row {
+			if u != prev {
+				neighbors[w] = u
+				prev = u
+				w++
+			}
+		}
+	}
+	offsets[n] = w
+	return &Graph{offsets: offsets, neighbors: neighbors[:w:w], m: int(w) / 2}
+}
+
+// sortInt32Row sorts one adjacency row: insertion sort for the short rows
+// that dominate bounded-degree instances, the stdlib for long ones.
+func sortInt32Row(row []int32) {
+	if len(row) <= 24 {
+		sortInt32s(row)
+		return
+	}
+	sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+}
+
+// FromEdges builds a graph on n nodes from an edge list in O(n + len(edges)).
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilderHint(n, len(edges))
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -219,7 +219,7 @@ func RootedRefinementCode(l *Labeled, root int) string {
 	edgePairs := make(map[[2]int]int)
 	for u := 0; u < in.g.N(); u++ {
 		for _, v := range in.g.Neighbors(u) {
-			if u < v {
+			if int32(u) < v {
 				a, b := colors[u], colors[v]
 				if a > b {
 					a, b = b, a

@@ -93,6 +93,10 @@ type CodeWorkspace struct {
 	// Top-level output buffer; returned Codes alias it.
 	buf []byte
 
+	// rawBuf backs RawCode: kept separate from buf so a raw key survives a
+	// subsequent canonical-code computation in the same workspace.
+	rawBuf []byte
+
 	// Individualisation-refinement branching frames, one per recursion
 	// depth, pre-grown so frame pointers stay stable across recursion.
 	frames []canonFrame
@@ -168,6 +172,29 @@ func (w *CodeWorkspace) grow(n int) {
 // is invariant under isomorphism.
 func (w *CodeWorkspace) initColors(l *Labeled, root int) int {
 	n := l.N()
+	// Fast path for the uniform labelling that dominates engine sweeps: the
+	// root (when present) is class 0 and everything else one class — exactly
+	// what the sort below produces, without sorting.
+	uniform := true
+	for _, lab := range l.Labels {
+		if lab != l.Labels[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		if root < 0 || n == 1 {
+			for i := 0; i < n; i++ {
+				w.cur[i] = 0
+			}
+			return 1
+		}
+		for i := 0; i < n; i++ {
+			w.cur[i] = 1
+		}
+		w.cur[root] = 0
+		return 2
+	}
 	order := w.order[:n]
 	for i := range order {
 		order[i] = i
@@ -246,13 +273,14 @@ func (w *CodeWorkspace) canon(l *Labeled, root, depth, k int, colors []int, out 
 // place; the final class count is returned.
 func (w *CodeWorkspace) refine(g *Graph, colors []int, k int) int {
 	n := len(colors)
+	offsets, nbrs := g.offsets, g.neighbors
 	for {
 		w.sigBuf = w.sigBuf[:0]
 		for v := 0; v < n; v++ {
 			w.sigPos[v] = len(w.sigBuf)
 			w.sigBuf = append(w.sigBuf, colors[v])
 			start := len(w.sigBuf)
-			for _, u := range g.adj[v] {
+			for _, u := range nbrs[offsets[v]:offsets[v+1]] {
 				w.sigBuf = append(w.sigBuf, colors[u])
 			}
 			sortInts(w.sigBuf[start:])
@@ -262,8 +290,18 @@ func (w *CodeWorkspace) refine(g *Graph, colors []int, k int) int {
 		for i := range order {
 			order[i] = i
 		}
-		w.sigS.n = n
-		sort.Sort(&w.sigS)
+		// Views are small, so a direct insertion sort beats sort.Sort's
+		// interface dispatch; large inputs fall back to the stdlib.
+		if n <= 32 {
+			for i := 1; i < n; i++ {
+				for j := i; j > 0 && w.compareSig(order[j-1], order[j]) > 0; j-- {
+					order[j-1], order[j] = order[j], order[j-1]
+				}
+			}
+		} else {
+			w.sigS.n = n
+			sort.Sort(&w.sigS)
+		}
 		next := w.next[:n]
 		kNext := 0
 		next[order[0]] = 0
@@ -286,21 +324,22 @@ func (w *CodeWorkspace) refine(g *Graph, colors []int, k int) int {
 // smaller on a common prefix). Signatures are tuples of colour numbers, so
 // the ordering is invariant under isomorphism.
 func (w *CodeWorkspace) compareSig(a, b int) int {
-	sa := w.sigBuf[w.sigPos[a] : w.sigPos[a]+w.sigLen[a]]
-	sb := w.sigBuf[w.sigPos[b] : w.sigPos[b]+w.sigLen[b]]
-	m := len(sa)
-	if len(sb) < m {
-		m = len(sb)
+	pa, la := w.sigPos[a], w.sigLen[a]
+	pb, lb := w.sigPos[b], w.sigLen[b]
+	m := la
+	if lb < m {
+		m = lb
 	}
+	buf := w.sigBuf
 	for i := 0; i < m; i++ {
-		if sa[i] != sb[i] {
-			if sa[i] < sb[i] {
+		if x, y := buf[pa+i], buf[pb+i]; x != y {
+			if x < y {
 				return -1
 			}
 			return 1
 		}
 	}
-	return len(sa) - len(sb)
+	return la - lb
 }
 
 // sigSorter orders the workspace's node permutation by signature.
@@ -359,8 +398,9 @@ func (w *CodeWorkspace) encode(l *Labeled, root int, colors []int, out []byte) [
 		out = binary.AppendUvarint(out, uint64(len(lab)))
 		out = append(out, lab...)
 	}
+	offsets, flat := l.G.offsets, l.G.neighbors
 	for _, v := range order {
-		nbrs := l.G.adj[v]
+		nbrs := flat[offsets[v]:offsets[v+1]]
 		out = binary.AppendUvarint(out, uint64(len(nbrs)))
 		p := w.encNbrs[:0]
 		for _, u := range nbrs {

@@ -2,11 +2,16 @@ package graph
 
 // ViewExtractor extracts radius-t views in bulk while reusing all scratch
 // memory between calls: the BFS stamp array, the frontier queues, the view's
-// adjacency lists, and the label/identifier/original-index buffers. One
+// flat CSR arrays, and the label/identifier/original-index buffers. One
 // extractor per worker turns per-node view extraction from "two map-backed
 // allocations per node" (Ball + InducedSubgraph) into an allocation-free
 // inner loop, which is where the evaluation engine spends its time on the
 // large Section 3 instances.
+//
+// The emitted view graph is written directly into one reused flat arena
+// (offsets + neighbours), mirroring the host graph's CSR layout: both the
+// BFS over the host and the induced-subgraph emission walk contiguous int32
+// ranges, with no per-node slice headers on either side.
 //
 // The extractor reproduces ViewOf / ObliviousViewOf exactly: the view's node
 // ordering is the same BFS discovery order (centre first, then by distance,
@@ -24,18 +29,20 @@ type ViewExtractor struct {
 	ids []int // identifier per original node; nil for oblivious extraction
 
 	// BFS scratch, sized to the host graph.
-	stamp     []int // visit epoch per original node
-	viewIndex []int // original node -> dense view index, valid when stamped
+	stamp     []int   // visit epoch per original node
+	viewIndex []int32 // original node -> dense view index, valid when stamped
 	epoch     int
 	ball      []int
 	frontier  []int
 	next      []int
 
 	// Reusable view output buffers, sized to the largest ball seen so far.
-	adjStore [][]int
-	labels   []Label
-	outIDs   []int
-	orig     []int
+	// The view's adjacency is one flat CSR arena reused across calls.
+	viewOffsets []int32
+	viewNbrs    []int32
+	labels      []Label
+	outIDs      []int
+	orig        []int
 
 	// The returned view aliases these; they are overwritten by the next At.
 	g       Graph
@@ -55,7 +62,7 @@ func NewViewExtractor(l *Labeled) *ViewExtractor {
 	return &ViewExtractor{
 		l:         l,
 		stamp:     make([]int, n),
-		viewIndex: make([]int, n),
+		viewIndex: make([]int32, n),
 		code:      NewCodeWorkspace(),
 	}
 }
@@ -83,11 +90,11 @@ func (x *ViewExtractor) At(v, t int) *View {
 	for d := 0; d < t && len(x.frontier) > 0; d++ {
 		x.next = x.next[:0]
 		for _, w := range x.frontier {
-			for _, u := range g.adj[w] {
+			for _, u := range g.row(w) {
 				if x.stamp[u] != x.epoch {
 					x.stamp[u] = x.epoch
-					x.next = append(x.next, u)
-					x.ball = append(x.ball, u)
+					x.next = append(x.next, int(u))
+					x.ball = append(x.ball, int(u))
 				}
 			}
 		}
@@ -97,20 +104,23 @@ func (x *ViewExtractor) At(v, t int) *View {
 	k := len(x.ball)
 	x.growOutput(k)
 	for i, w := range x.ball {
-		x.viewIndex[w] = i
+		x.viewIndex[w] = int32(i)
 	}
-	for i, w := range x.ball {
-		nbrs := x.adjStore[i][:0]
-		for _, u := range g.adj[w] {
+	// Emit the induced subgraph straight into the flat arena: node i's
+	// neighbours are appended contiguously, then the (small) range is sorted
+	// to restore the CSR invariant (neighbours arrive in original-index
+	// order, but view indices follow BFS discovery order).
+	x.viewNbrs = x.viewNbrs[:0]
+	x.viewOffsets = append(x.viewOffsets[:0], 0)
+	for _, w := range x.ball {
+		start := len(x.viewNbrs)
+		for _, u := range g.row(w) {
 			if x.stamp[u] == x.epoch {
-				nbrs = append(nbrs, x.viewIndex[u])
+				x.viewNbrs = append(x.viewNbrs, x.viewIndex[u])
 			}
 		}
-		// Neighbours arrive sorted by original index but view indices follow
-		// BFS discovery order, so re-sort the (small) list to restore the
-		// Graph invariant of sorted adjacency.
-		sortInts(nbrs)
-		x.adjStore[i] = nbrs
+		sortInt32s(x.viewNbrs[start:])
+		x.viewOffsets = append(x.viewOffsets, int32(len(x.viewNbrs)))
 	}
 	for i, w := range x.ball {
 		x.labels[i] = x.l.Labels[w]
@@ -120,7 +130,7 @@ func (x *ViewExtractor) At(v, t int) *View {
 		}
 	}
 
-	x.g.adj = x.adjStore[:k]
+	x.g = Graph{offsets: x.viewOffsets, neighbors: x.viewNbrs, m: len(x.viewNbrs) / 2}
 	x.labeled = Labeled{G: &x.g, Labels: x.labels[:k]}
 	x.view = View{Labeled: &x.labeled, Root: 0, Radius: t, Original: x.orig[:k], ws: x.code}
 	if x.ids != nil {
@@ -131,9 +141,6 @@ func (x *ViewExtractor) At(v, t int) *View {
 
 // growOutput ensures the reusable output buffers hold k view nodes.
 func (x *ViewExtractor) growOutput(k int) {
-	for len(x.adjStore) < k {
-		x.adjStore = append(x.adjStore, nil)
-	}
 	if cap(x.labels) < k {
 		x.labels = make([]Label, k)
 		x.orig = make([]int, k)

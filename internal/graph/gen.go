@@ -2,16 +2,17 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
 // Path returns the path graph on n nodes (0-1-2-...-n-1).
 func Path(n int) *Graph {
-	g := New(n)
+	b := NewBuilderHint(n, n)
 	for v := 0; v+1 < n; v++ {
-		g.AddEdge(v, v+1)
+		b.AddEdge(v, v+1)
 	}
-	return g
+	return b.Build()
 }
 
 // Cycle returns the cycle graph on n >= 3 nodes.
@@ -19,20 +20,23 @@ func Cycle(n int) *Graph {
 	if n < 3 {
 		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
 	}
-	g := Path(n)
-	g.AddEdge(n-1, 0)
-	return g
+	b := NewBuilderHint(n, n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	b.AddEdge(n-1, 0)
+	return b.Build()
 }
 
 // Complete returns the complete graph on n nodes.
 func Complete(n int) *Graph {
-	g := New(n)
+	b := NewBuilderHint(n, n*(n-1)/2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.AddEdge(u, v)
+			b.AddEdge(u, v)
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // Star returns the star graph with one centre (node 0) and n-1 leaves.
@@ -40,11 +44,11 @@ func Star(n int) *Graph {
 	if n < 1 {
 		panic("graph: star needs n >= 1")
 	}
-	g := New(n)
+	b := NewBuilderHint(n, n-1)
 	for v := 1; v < n; v++ {
-		g.AddEdge(0, v)
+		b.AddEdge(0, v)
 	}
-	return g
+	return b.Build()
 }
 
 // Grid returns the rows x cols grid graph. GridIndex gives the node numbering.
@@ -52,18 +56,18 @@ func Grid(rows, cols int) *Graph {
 	if rows < 1 || cols < 1 {
 		panic(fmt.Sprintf("graph: invalid grid %dx%d", rows, cols))
 	}
-	g := New(rows * cols)
+	b := NewBuilderHint(rows*cols, 2*rows*cols)
 	for y := 0; y < rows; y++ {
 		for x := 0; x < cols; x++ {
 			if x+1 < cols {
-				g.AddEdge(GridIndex(y, x, cols), GridIndex(y, x+1, cols))
+				b.AddEdge(GridIndex(y, x, cols), GridIndex(y, x+1, cols))
 			}
 			if y+1 < rows {
-				g.AddEdge(GridIndex(y, x, cols), GridIndex(y+1, x, cols))
+				b.AddEdge(GridIndex(y, x, cols), GridIndex(y+1, x, cols))
 			}
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // GridIndex maps (row, col) to the node index used by Grid.
@@ -75,14 +79,14 @@ func Torus(rows, cols int) *Graph {
 	if rows < 3 || cols < 3 {
 		panic(fmt.Sprintf("graph: torus needs dims >= 3, got %dx%d", rows, cols))
 	}
-	g := New(rows * cols)
+	b := NewBuilderHint(rows*cols, 2*rows*cols)
 	for y := 0; y < rows; y++ {
 		for x := 0; x < cols; x++ {
-			g.AddEdge(GridIndex(y, x, cols), GridIndex(y, (x+1)%cols, cols))
-			g.AddEdge(GridIndex(y, x, cols), GridIndex((y+1)%rows, x, cols))
+			b.AddEdge(GridIndex(y, x, cols), GridIndex(y, (x+1)%cols, cols))
+			b.AddEdge(GridIndex(y, x, cols), GridIndex((y+1)%rows, x, cols))
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // CompleteBinaryTree returns the complete binary tree of the given depth
@@ -93,35 +97,72 @@ func CompleteBinaryTree(depth int) *Graph {
 		panic("graph: negative tree depth")
 	}
 	n := (1 << (depth + 1)) - 1
-	g := New(n)
+	b := NewBuilderHint(n, n-1)
 	for v := 0; 2*v+2 < n; v++ {
-		g.AddEdge(v, 2*v+1)
-		g.AddEdge(v, 2*v+2)
+		b.AddEdge(v, 2*v+1)
+		b.AddEdge(v, 2*v+2)
 	}
-	return g
+	return b.Build()
 }
 
 // Random returns a connected Erdos-Renyi-style graph: a uniform spanning tree
-// skeleton plus each remaining edge independently with probability p. The
+// skeleton plus each remaining pair independently with probability p. The
 // generator is deterministic given the seed.
+//
+// Non-tree pairs are drawn by geometric skip sampling over the lexicographic
+// pair sequence (skip lengths ~ Geometric(p)), so generation is O(n + m)
+// expected rather than the legacy O(n²) all-pairs loop. Each pair is still
+// included independently with probability p — pairs that the skip lands on
+// but that already carry a tree edge are simply discarded (the builder dedups
+// them), which does not disturb the other pairs' marginals. Note the random
+// edge stream differs from the seed generator's: the same seed yields a graph
+// from the same distribution, not the identical graph.
 func Random(n int, p float64, seed int64) *Graph {
 	if n < 1 {
 		panic("graph: random graph needs n >= 1")
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := New(n)
+	expected := n - 1
+	if p > 0 {
+		expected += int(p * float64(n) * float64(n-1) / 2)
+	}
+	b := NewBuilderHint(n, expected)
 	// Random tree skeleton guarantees connectivity.
 	for v := 1; v < n; v++ {
-		g.AddEdge(v, rng.Intn(v))
+		b.AddEdge(v, rng.Intn(v))
 	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if !g.HasEdge(u, v) && rng.Float64() < p {
-				g.AddEdge(u, v)
+	if p > 0 {
+		if p >= 1 {
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					b.AddEdge(u, v)
+				}
 			}
+			return b.Build()
+		}
+		logQ := math.Log1p(-p)
+		// Walk the pairs (0,1), (0,2), ..., (0,n-1), (1,2), ... advancing by
+		// 1 + Geometric(p) positions per sample.
+		u, v := 0, 0 // v == u means "row u, before its first pair (u, u+1)"
+		for {
+			skip := 1
+			if r := rng.Float64(); r > 0 {
+				skip += int(math.Log(r) / logQ)
+			} else {
+				break // log(0) would skip past every remaining pair
+			}
+			v += skip
+			for v >= n {
+				u++
+				if u >= n-1 {
+					return b.Build()
+				}
+				v = u + (v - n) + 1
+			}
+			b.AddEdge(u, v)
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // RandomLabels assigns each node a label drawn uniformly from alphabet,

@@ -7,6 +7,16 @@
 // Nodes are dense integer indices 0..n-1. Labels are opaque strings; packages
 // that need structured labels (coordinates, Turing-machine cells) provide
 // their own encode/decode functions on top.
+//
+// Graphs are stored in compressed sparse row (CSR) form: one flat offsets
+// array and one flat neighbors array holding every adjacency list
+// back-to-back, each list sorted ascending. The representation is canonical —
+// two structurally equal graphs have identical arrays — and cache-linear:
+// BFS and view extraction walk contiguous int32 ranges instead of chasing
+// per-node slice headers. Bulk construction goes through Builder, which
+// freezes an edge list in O(n+m); AddEdge/AddNode remain as compatibility
+// mutators for small post-hoc edits (tests corrupting instances) but rebuild
+// the flat arrays per call and must not be used on hot paths.
 package graph
 
 import (
@@ -14,12 +24,21 @@ import (
 	"sort"
 )
 
-// Graph is a simple undirected graph on nodes 0..n-1.
+// Graph is a simple undirected graph on nodes 0..n-1 in CSR form.
 //
-// The zero value is the empty graph. Adjacency lists are kept sorted so that
-// two structurally equal graphs compare equal field-wise.
+// The zero value is the empty graph. Node indices and offsets are int32: the
+// representation supports up to 2^31-1 nodes and 2^30 undirected edges, far
+// above the 10^6-node production target, at half the memory of int on 64-bit.
+// Adjacency rows are kept sorted so that two structurally equal graphs
+// compare equal field-wise.
 type Graph struct {
-	adj [][]int
+	// offsets has length n+1 (nil for the zero-value empty graph); node v's
+	// neighbours are neighbors[offsets[v]:offsets[v+1]], sorted ascending.
+	offsets   []int32
+	neighbors []int32
+	// m is the cached undirected edge count (= len(neighbors)/2), so M() is
+	// O(1) instead of the legacy sum over all adjacency lengths.
+	m int
 }
 
 // New returns an empty graph on n isolated nodes.
@@ -27,30 +46,46 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
-	return &Graph{adj: make([][]int, n)}
+	checkInt32Range(n)
+	return &Graph{offsets: make([]int32, n+1)}
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
-
-// M returns the number of edges.
-func (g *Graph) M() int {
-	total := 0
-	for _, nbrs := range g.adj {
-		total += len(nbrs)
+func (g *Graph) N() int {
+	if len(g.offsets) == 0 {
+		return 0
 	}
-	return total / 2
+	return len(g.offsets) - 1
+}
+
+// M returns the number of edges in O(1).
+func (g *Graph) M() int { return g.m }
+
+// row returns node v's sorted neighbour range (unchecked).
+func (g *Graph) row(v int) []int32 {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
 }
 
 // AddNode appends a new isolated node and returns its index.
+//
+// This is a compatibility mutator; bulk construction should use Builder.
 func (g *Graph) AddNode() int {
-	g.adj = append(g.adj, nil)
-	return len(g.adj) - 1
+	if len(g.offsets) == 0 {
+		g.offsets = []int32{0}
+	}
+	checkInt32Range(len(g.offsets))
+	g.offsets = append(g.offsets, g.offsets[len(g.offsets)-1])
+	return len(g.offsets) - 2
 }
 
 // AddEdge inserts the undirected edge {u, v}. It is idempotent: inserting an
 // existing edge is a no-op. Self-loops are rejected because the paper's model
 // uses simple graphs.
+//
+// This is a compatibility mutator for small post-hoc edits: each call shifts
+// the flat neighbour array (O(n+m)) and invalidates slices previously
+// returned by Neighbors. Bulk construction should use Builder, which freezes
+// an entire edge list in O(n+m) total.
 func (g *Graph) AddEdge(u, v int) {
 	g.check(u)
 	g.check(v)
@@ -60,38 +95,63 @@ func (g *Graph) AddEdge(u, v int) {
 	if g.HasEdge(u, v) {
 		return
 	}
-	g.adj[u] = insertSorted(g.adj[u], v)
-	g.adj[v] = insertSorted(g.adj[v], u)
+	lo, hi := u, v
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// Insertion points inside the flat array: hi goes into lo's row, lo into
+	// hi's row; insLo < insHi because lo's row precedes hi's row.
+	insLo := int(g.offsets[lo]) + searchInt32(g.row(lo), int32(hi))
+	insHi := int(g.offsets[hi]) + searchInt32(g.row(hi), int32(lo))
+	out := make([]int32, len(g.neighbors)+2)
+	copy(out, g.neighbors[:insLo])
+	out[insLo] = int32(hi)
+	copy(out[insLo+1:], g.neighbors[insLo:insHi])
+	out[insHi+1] = int32(lo)
+	copy(out[insHi+2:], g.neighbors[insHi:])
+	g.neighbors = out
+	for w := lo + 1; w <= hi; w++ {
+		g.offsets[w]++
+	}
+	for w := hi + 1; w < len(g.offsets); w++ {
+		g.offsets[w] += 2
+	}
+	g.m++
 }
 
 // HasEdge reports whether the undirected edge {u, v} is present.
 func (g *Graph) HasEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
-	nbrs := g.adj[u]
-	i := sort.SearchInts(nbrs, v)
-	return i < len(nbrs) && nbrs[i] == v
+	// Search the smaller row.
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
+	}
+	row := g.row(u)
+	i := searchInt32(row, int32(v))
+	return i < len(row) && row[i] == int32(v)
 }
 
-// Neighbors returns the sorted adjacency list of v. The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int {
+// Neighbors returns the sorted adjacency list of v as a subslice of the flat
+// CSR neighbour array. The returned slice is owned by the graph and must not
+// be modified; it is invalidated by the compatibility mutators.
+func (g *Graph) Neighbors(v int) []int32 {
 	g.check(v)
-	return g.adj[v]
+	return g.row(v)
 }
 
 // Degree returns the degree of v.
 func (g *Graph) Degree(v int) int {
 	g.check(v)
-	return len(g.adj[v])
+	return int(g.offsets[v+1] - g.offsets[v])
 }
 
 // MaxDegree returns the maximum degree, or 0 for the empty graph.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for _, nbrs := range g.adj {
-		if len(nbrs) > max {
-			max = len(nbrs)
+	for v, n := 0, g.N(); v < n; v++ {
+		if d := int(g.offsets[v+1] - g.offsets[v]); d > max {
+			max = d
 		}
 	}
 	return max
@@ -99,11 +159,11 @@ func (g *Graph) MaxDegree() int {
 
 // Edges returns all edges as ordered pairs (u, v) with u < v, sorted.
 func (g *Graph) Edges() [][2]int {
-	edges := make([][2]int, 0, g.M())
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
-			if u < v {
-				edges = append(edges, [2]int{u, v})
+	edges := make([][2]int, 0, g.m)
+	for u, n := 0, g.N(); u < n; u++ {
+		for _, v := range g.row(u) {
+			if int32(u) < v {
+				edges = append(edges, [2]int{u, int(v)})
 			}
 		}
 	}
@@ -112,28 +172,34 @@ func (g *Graph) Edges() [][2]int {
 
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph {
-	adj := make([][]int, len(g.adj))
-	for i, nbrs := range g.adj {
-		adj[i] = append([]int(nil), nbrs...)
+	h := &Graph{m: g.m}
+	if g.offsets != nil {
+		h.offsets = append([]int32(nil), g.offsets...)
 	}
-	return &Graph{adj: adj}
+	if g.neighbors != nil {
+		h.neighbors = append([]int32(nil), g.neighbors...)
+	}
+	return h
 }
 
 // Equal reports whether g and h are identical as indexed graphs (same node
-// count and same edge set; this is equality, not isomorphism).
+// count and same edge set; this is equality, not isomorphism). CSR with
+// sorted rows is canonical, so this is two flat array comparisons.
 func (g *Graph) Equal(h *Graph) bool {
-	if g.N() != h.N() {
+	n := g.N()
+	if n != h.N() || g.m != h.m {
 		return false
 	}
-	for v, nbrs := range g.adj {
-		other := h.adj[v]
-		if len(nbrs) != len(other) {
+	// offsets[0] is always 0, so starting at 1 also keeps a zero-value
+	// (nil-offsets) empty graph comparable against New(0).
+	for v := 1; v <= n; v++ {
+		if g.offsets[v] != h.offsets[v] {
 			return false
 		}
-		for i, u := range nbrs {
-			if other[i] != u {
-				return false
-			}
+	}
+	for i, u := range g.neighbors {
+		if h.neighbors[i] != u {
+			return false
 		}
 	}
 	return true
@@ -143,24 +209,24 @@ func (g *Graph) Equal(h *Graph) bool {
 // with the mapping from new indices to original node indices. The order of
 // nodes determines the new indexing; duplicate nodes are rejected.
 func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
-	index := make(map[int]int, len(nodes))
+	index := make(map[int]int32, len(nodes))
 	for i, v := range nodes {
 		g.check(v)
 		if _, dup := index[v]; dup {
 			panic(fmt.Sprintf("graph: duplicate node %d in induced subgraph", v))
 		}
-		index[v] = i
+		index[v] = int32(i)
 	}
-	sub := New(len(nodes))
+	b := NewBuilder(len(nodes))
 	for i, v := range nodes {
-		for _, u := range g.adj[v] {
-			if j, ok := index[u]; ok && i < j {
-				sub.AddEdge(i, j)
+		for _, u := range g.row(v) {
+			if j, ok := index[int(u)]; ok && int32(i) < j {
+				b.AddEdge(i, int(j))
 			}
 		}
 	}
 	original := append([]int(nil), nodes...)
-	return sub, original
+	return b.Build(), original
 }
 
 // Relabel returns a copy of g with node v renamed to perm[v]. perm must be a
@@ -177,15 +243,15 @@ func (g *Graph) Relabel(perm []int) *Graph {
 		}
 		seen[p] = true
 	}
-	h := New(n)
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
-			if u < v {
-				h.AddEdge(perm[u], perm[v])
+	b := NewBuilderHint(n, g.m)
+	for u := 0; u < n; u++ {
+		for _, v := range g.row(u) {
+			if int32(u) < v {
+				b.AddEdge(perm[u], perm[int(v)])
 			}
 		}
 	}
-	return h
+	return b.Build()
 }
 
 // String renders a compact description, e.g. "Graph(n=4, m=3)".
@@ -194,15 +260,18 @@ func (g *Graph) String() string {
 }
 
 func (g *Graph) check(v int) {
-	if v < 0 || v >= len(g.adj) {
-		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.adj)))
+	if v < 0 || v >= g.N() {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, g.N()))
 	}
 }
 
-func insertSorted(s []int, v int) []int {
-	i := sort.SearchInts(s, v)
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s
+// searchInt32 is sort.SearchInts over an int32 slice.
+func searchInt32(s []int32, v int32) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= v })
+}
+
+func checkInt32Range(n int) {
+	if int64(n) > int64(1<<31-2) {
+		panic(fmt.Sprintf("graph: node count %d exceeds int32 representation", n))
+	}
 }

@@ -74,7 +74,7 @@ func TestNeighborsSorted(t *testing.T) {
 	g.AddEdge(2, 3)
 	g.AddEdge(2, 1)
 	nbrs := g.Neighbors(2)
-	want := []int{0, 1, 3, 4}
+	want := []int32{0, 1, 3, 4}
 	if len(nbrs) != len(want) {
 		t.Fatalf("Neighbors(2) = %v, want %v", nbrs, want)
 	}

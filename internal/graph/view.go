@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 )
@@ -58,6 +59,42 @@ func (v *View) workspace() *CodeWorkspace {
 		v.ws = NewCodeWorkspace()
 	}
 	return v.ws
+}
+
+// RawCode is a fingerprinted byte encoding of the view exactly as extracted:
+// root, then the CSR degree/neighbour arrays, then the labels. Equal raw
+// codes imply identical rooted labelled graphs (hence isomorphic views); the
+// converse does not hold — isomorphic views extracted in different BFS
+// discovery orders encode differently. Because extraction order is a
+// deterministic function of the host structure, structurally repeated
+// neighbourhoods (every node of a uniform cycle, interior grid nodes, table
+// cells) produce byte-identical raw codes, which makes RawCode a sound and
+// nearly-free first-level dedup key in front of the full canonical code: it
+// is one linear pass over the view's flat arrays, no refinement search.
+//
+// The returned bytes alias workspace memory (a buffer distinct from
+// CanonCode's, so a raw code survives one subsequent canonical-code
+// computation); they are invalidated by the next RawCode on a view sharing
+// the workspace. Identifiers are deliberately excluded — the engine only
+// dedups identifier-free evaluations.
+func (v *View) RawCode() Code {
+	w := v.workspace()
+	b := w.rawBuf[:0]
+	b = binary.AppendUvarint(b, uint64(v.N()))
+	b = binary.AppendUvarint(b, uint64(v.Root))
+	g := v.G
+	for i := 0; i < g.N(); i++ {
+		b = binary.AppendUvarint(b, uint64(g.offsets[i+1]-g.offsets[i]))
+	}
+	for _, u := range g.neighbors {
+		b = binary.AppendUvarint(b, uint64(u))
+	}
+	for _, lab := range v.Labels {
+		b = binary.AppendUvarint(b, uint64(len(lab)))
+		b = append(b, lab...)
+	}
+	w.rawBuf = b
+	return Code{Fingerprint: fingerprint64(b), Bytes: b}
 }
 
 // CanonCode is the fingerprinted canonical code of the view ignoring

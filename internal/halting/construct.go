@@ -151,7 +151,7 @@ func (p Params) assemble(table *turing.Table, fullTable bool) (*Assembly, error)
 	side := p.FragmentSide()
 
 	total := h*w + len(fragments)*side*side
-	g := graph.New(total)
+	b := graph.NewBuilderHint(total, 2*total)
 	labels := make([]graph.Label, total)
 
 	// Table grid.
@@ -168,10 +168,10 @@ func (p Params) assemble(table *turing.Table, fullTable bool) (*Assembly, error)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			if x+1 < w {
-				g.AddEdge(tableNode[y][x], tableNode[y][x+1])
+				b.AddEdge(tableNode[y][x], tableNode[y][x+1])
 			}
 			if y+1 < h {
-				g.AddEdge(tableNode[y][x], tableNode[y+1][x])
+				b.AddEdge(tableNode[y][x], tableNode[y+1][x])
 			}
 		}
 	}
@@ -192,24 +192,24 @@ func (p Params) assemble(table *turing.Table, fullTable bool) (*Assembly, error)
 		for y := 0; y < side; y++ {
 			for x := 0; x < side; x++ {
 				if x+1 < side {
-					g.AddEdge(nodes[y][x], nodes[y][x+1])
+					b.AddEdge(nodes[y][x], nodes[y][x+1])
 				}
 				if y+1 < side {
-					g.AddEdge(nodes[y][x], nodes[y+1][x])
+					b.AddEdge(nodes[y][x], nodes[y+1][x])
 				}
 			}
 		}
 		// Glue the non-natural borders (under the variant's spec) to the
 		// pivot.
 		for _, cell := range pf.Fragment.BorderCells(pf.Spec) {
-			g.AddEdge(pivot, nodes[cell[0]][cell[1]])
+			b.AddEdge(pivot, nodes[cell[0]][cell[1]])
 		}
 		fragmentNodes[i] = nodes
 	}
 
 	return &Assembly{
 		Params:        p,
-		Labeled:       graph.NewLabeled(g, labels),
+		Labeled:       graph.NewLabeled(b.Build(), labels),
 		Pivot:         pivot,
 		TableNode:     tableNode,
 		FragmentNodes: fragmentNodes,

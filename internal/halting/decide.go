@@ -62,7 +62,8 @@ func (p Params) classify(view *graph.View, v int) (cell turing.Cell, rel map[[2]
 		return cell, nil, nil, err
 	}
 	rel = make(map[[2]int][]int)
-	for _, u := range view.G.Neighbors(v) {
+	for _, u32 := range view.G.Neighbors(v) {
+		u := int(u32)
 		if view.G.Degree(u) >= PivotDegreeThreshold {
 			pivots = append(pivots, u)
 			continue
@@ -169,7 +170,8 @@ func (p Params) checkPivot(view *graph.View) local.Verdict {
 	side := p.FragmentSide()
 	maxCells := side * side
 	seen := make(map[int]struct{})
-	for _, u := range view.G.Neighbors(view.Root) {
+	for _, u32 := range view.G.Neighbors(view.Root) {
+		u := int(u32)
 		if _, done := seen[u]; done {
 			continue
 		}
@@ -183,7 +185,8 @@ func (p Params) checkPivot(view *graph.View) local.Verdict {
 		for len(frontier) > 0 && len(comp) <= maxCells+p.WindowSide()*p.WindowSide() {
 			var next []int
 			for _, w := range frontier {
-				for _, z := range view.G.Neighbors(w) {
+				for _, z32 := range view.G.Neighbors(w) {
+					z := int(z32)
 					if z == view.Root {
 						continue
 					}

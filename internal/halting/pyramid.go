@@ -79,7 +79,7 @@ func (p Params) BuildPyramidalG() (*PyramidalAssembly, error) {
 	fragH := 2 // 4x4 base
 	fragPyrProto := tree.NewPyramid(fragH)
 	total := tablePyr.N() + len(placed)*fragPyrProto.N()
-	g := graph.New(total)
+	b := graph.NewBuilderHint(total, 3*total)
 	labels := make([]graph.Label, total)
 
 	// Table pyramid: base nodes carry cell labels; upper layers carry the
@@ -99,9 +99,7 @@ func (p Params) BuildPyramidalG() (*PyramidalAssembly, error) {
 			labels[node] = p.PyrLabel()
 		}
 	}
-	for _, e := range tablePyr.G.Edges() {
-		g.AddEdge(offset+e[0], offset+e[1])
-	}
+	b.AddGraphAt(tablePyr.G, offset)
 	tableApex := offset + tablePyr.Apex()
 	pivot := tableBase[0][0]
 	offset += tablePyr.N()
@@ -124,19 +122,17 @@ func (p Params) BuildPyramidalG() (*PyramidalAssembly, error) {
 				labels[node] = p.PyrLabel()
 			}
 		}
-		for _, e := range pyr.G.Edges() {
-			g.AddEdge(offset+e[0], offset+e[1])
-		}
+		b.AddGraphAt(pyr.G, offset)
 		fragmentApex[i] = offset + pyr.Apex()
 		for _, cell := range pf.Fragment.BorderCells(pf.Spec) {
-			g.AddEdge(pivot, base[cell[0]][cell[1]])
+			b.AddEdge(pivot, base[cell[0]][cell[1]])
 		}
 		offset += pyr.N()
 	}
 
 	return &PyramidalAssembly{
 		Params:       p,
-		Labeled:      graph.NewLabeled(g, labels),
+		Labeled:      graph.NewLabeled(b.Build(), labels),
 		Pivot:        pivot,
 		TableBase:    tableBase,
 		TableApex:    tableApex,

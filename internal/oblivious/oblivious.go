@@ -267,8 +267,8 @@ func ValidOrientation(l *graph.Labeled, outputs []string) error {
 		for i, u := range nbrs {
 			// Find v in u's neighbour list.
 			j := -1
-			for k, w := range l.G.Neighbors(u) {
-				if w == v {
+			for k, w := range l.G.Neighbors(int(u)) {
+				if int(w) == v {
 					j = k
 				}
 			}

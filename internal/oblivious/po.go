@@ -42,14 +42,15 @@ func NewPortNumbering(g *graph.Graph) *PortNumbering {
 	}
 	for v := 0; v < n; v++ {
 		nbrs := g.Neighbors(v)
-		pn.ports[v] = append([]int(nil), nbrs...)
+		pn.ports[v] = make([]int, len(nbrs))
 		pn.portBack[v] = make([]int, len(nbrs))
 		pn.outward[v] = make([]bool, len(nbrs))
 		for i, u := range nbrs {
-			pn.outward[v][i] = v < u
-			back := g.Neighbors(u)
+			pn.ports[v][i] = int(u)
+			pn.outward[v][i] = v < int(u)
+			back := g.Neighbors(int(u))
 			for j, w := range back {
-				if w == v {
+				if int(w) == v {
 					pn.portBack[v][i] = j
 				}
 			}

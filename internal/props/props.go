@@ -125,7 +125,7 @@ func TriangleFree() decide.Property {
 			nbrs := l.G.Neighbors(v)
 			for i := 0; i < len(nbrs); i++ {
 				for j := i + 1; j < len(nbrs); j++ {
-					if l.G.HasEdge(nbrs[i], nbrs[j]) {
+					if l.G.HasEdge(int(nbrs[i]), int(nbrs[j])) {
 						return false
 					}
 				}
@@ -141,7 +141,7 @@ func TriangleFreeVerifier() local.ObliviousAlgorithm {
 		nbrs := view.G.Neighbors(view.Root)
 		for i := 0; i < len(nbrs); i++ {
 			for j := i + 1; j < len(nbrs); j++ {
-				if view.G.HasEdge(nbrs[i], nbrs[j]) {
+				if view.G.HasEdge(int(nbrs[i]), int(nbrs[j])) {
 					return local.No
 				}
 			}
@@ -242,9 +242,9 @@ func MISSuite() *decide.Suite {
 	}
 }
 
-func contains(s []int, v int) bool {
+func contains(s []int32, v int) bool {
 	for _, x := range s {
-		if x == v {
+		if int(x) == v {
 			return true
 		}
 	}

@@ -1,0 +1,36 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Construction benchmarks at the scale the CSR substrate targets: pyramid
+// height 9 is a 512x512 base (~3.5*10^5 nodes, ~10^6 edges), height 10 a
+// 1024x1024 base (~1.4*10^6 nodes) — the n=10^6 pin for the layered
+// quadtree family alongside the cycle/sparse-random pins in internal/graph.
+func BenchmarkNewPyramid(b *testing.B) {
+	for _, h := range []int{6, 9, 10} {
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if p := NewPyramid(h); p.G.N() == 0 {
+					b.Fatal("empty pyramid")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNewLayeredTree(b *testing.B) {
+	for _, depth := range []int{10, 16, 19} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if lt := NewLayeredTree(depth); lt.N() == 0 {
+					b.Fatal("empty tree")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Differential coverage for the builder migration of this package's
+// generators: the layered trees and pyramids must be Equal-identical to a
+// graph rebuilt from the same edge set through the legacy incremental
+// AddEdge path (shuffled order, duplicates and reversed pairs mixed in).
+func rebuildViaAddEdge(g *graph.Graph, seed int64) *graph.Graph {
+	edges := g.Edges()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	h := graph.New(g.N())
+	for i, e := range edges {
+		u, v := e[0], e[1]
+		if i%2 == 1 {
+			u, v = v, u
+		}
+		h.AddEdge(u, v)
+		if i%3 == 0 {
+			h.AddEdge(u, v)
+		}
+	}
+	return h
+}
+
+func TestLayeredTreeMatchesAddEdgePath(t *testing.T) {
+	for _, depth := range []int{0, 1, 3, 5} {
+		lt := NewLayeredTree(depth)
+		if h := rebuildViaAddEdge(lt.G, int64(depth)); !lt.G.Equal(h) {
+			t.Fatalf("depth %d: builder-built layered tree differs from AddEdge rebuild", depth)
+		}
+	}
+}
+
+func TestPyramidMatchesAddEdgePath(t *testing.T) {
+	for _, h := range []int{0, 1, 3} {
+		p := NewPyramid(h)
+		if g := rebuildViaAddEdge(p.G, int64(h)); !p.G.Equal(g) {
+			t.Fatalf("height %d: builder-built pyramid differs from AddEdge rebuild", h)
+		}
+	}
+}

@@ -39,7 +39,7 @@ func NewLayeredTree(depth int) *LayeredTree {
 		panic(fmt.Sprintf("tree: depth %d would allocate 2^%d nodes", depth, depth+1))
 	}
 	n := (1 << (depth + 1)) - 1
-	g := graph.New(n)
+	b := graph.NewBuilderHint(n, 2*n)
 	coords := make([]Coord, n)
 	index := make(map[Coord]int, n)
 	for y := 0; y <= depth; y++ {
@@ -50,15 +50,15 @@ func NewLayeredTree(depth int) *LayeredTree {
 			coords[v] = Coord{X: x, Y: y}
 			index[Coord{X: x, Y: y}] = v
 			if x > 0 {
-				g.AddEdge(v-1, v) // level path
+				b.AddEdge(v-1, v) // level path
 			}
 			if y > 0 {
 				parent := (1 << (y - 1)) - 1 + x/2
-				g.AddEdge(parent, v)
+				b.AddEdge(parent, v)
 			}
 		}
 	}
-	return &LayeredTree{Depth: depth, G: g, Coords: coords, index: index}
+	return &LayeredTree{Depth: depth, G: b.Build(), Coords: coords, index: index}
 }
 
 // Node returns the node index for a coordinate.
@@ -167,7 +167,7 @@ func (t *LayeredTree) BorderNodes(s Slice) ([]int, error) {
 	var border []int
 	for _, v := range nodes {
 		for _, u := range t.G.Neighbors(v) {
-			if _, ok := inSlice[u]; !ok {
+			if _, ok := inSlice[int(u)]; !ok {
 				border = append(border, v)
 				break
 			}
@@ -202,7 +202,7 @@ func NewPyramid(h int) *Pyramid {
 		side := 1 << (h - z)
 		total += side * side
 	}
-	g := graph.New(total)
+	b := graph.NewBuilderHint(total, 3*total)
 	coords := make([][3]int, total)
 	index := make(map[[3]int]int, total)
 	v := 0
@@ -220,16 +220,16 @@ func NewPyramid(h int) *Pyramid {
 		x, y, z := c[0], c[1], c[2]
 		side := 1 << (h - z)
 		if x+1 < side {
-			g.AddEdge(v, index[[3]int{x + 1, y, z}])
+			b.AddEdge(v, index[[3]int{x + 1, y, z}])
 		}
 		if y+1 < side {
-			g.AddEdge(v, index[[3]int{x, y + 1, z}])
+			b.AddEdge(v, index[[3]int{x, y + 1, z}])
 		}
 		if z < h {
-			g.AddEdge(v, index[[3]int{x / 2, y / 2, z + 1}])
+			b.AddEdge(v, index[[3]int{x / 2, y / 2, z + 1}])
 		}
 	}
-	return &Pyramid{H: h, G: g, Coords3: coords, index: index}
+	return &Pyramid{H: h, G: b.Build(), Coords3: coords, index: index}
 }
 
 // Node returns the node at pyramid coordinate (x, y, z).

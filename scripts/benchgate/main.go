@@ -1,0 +1,138 @@
+// Command benchgate compares one benchmark between two recorded benchmark
+// artifacts (go test -json output or plain -bench text) and fails when the
+// current result regresses beyond a tolerance.
+//
+// Because the committed baseline and a CI run execute on different machines,
+// the gate compares machine-independent ratios rather than wall-clock: the
+// benchmark's ns/op is normalised by a reference benchmark measured in the
+// same file (for the engine dedup gate, the no-dedup evaluation of the same
+// instance). A >20% increase of that ratio means dedup throughput genuinely
+// regressed relative to the engine's own baseline cost on identical
+// hardware, not that the runner was slow.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate -baseline BENCH_2.json -current BENCH_3.json \
+//	    -benchmark BenchmarkDedup/expensive/dedup \
+//	    -reference BenchmarkDedup/expensive/no-dedup -max-ratio 1.2
+//
+// With -reference omitted the gate compares raw ns/op (same-machine use).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var benchLine = regexp.MustCompile(`(Benchmark[^\s]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseArtifact extracts min ns/op per benchmark name from a go test -json
+// stream or plain benchmark text.
+func parseArtifact(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev struct{ Output string }
+		if json.Unmarshal([]byte(line), &ev) == nil && ev.Output != "" {
+			text.WriteString(ev.Output)
+		} else if !strings.HasPrefix(strings.TrimSpace(line), "{") {
+			text.WriteString(line)
+			text.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, m := range benchLine.FindAllStringSubmatch(text.String(), -1) {
+		name := strings.TrimSuffix(m[1], "-")
+		// Strip the -GOMAXPROCS suffix go test appends to parallel benchmarks.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, nil
+}
+
+func metric(results map[string]float64, bench, reference, path string) (float64, error) {
+	ns, ok := results[bench]
+	if !ok {
+		return 0, fmt.Errorf("benchmark %s not found in %s", bench, path)
+	}
+	if reference == "" {
+		return ns, nil
+	}
+	ref, ok := results[reference]
+	if !ok {
+		return 0, fmt.Errorf("reference %s not found in %s", reference, path)
+	}
+	return ns / ref, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline artifact (go test -json or bench text)")
+	current := flag.String("current", "", "current artifact")
+	bench := flag.String("benchmark", "", "benchmark name to gate")
+	reference := flag.String("reference", "", "same-file reference benchmark for machine-independent normalisation")
+	maxRatio := flag.Float64("max-ratio", 1.2, "maximum allowed current/baseline metric ratio")
+	flag.Parse()
+	if *baseline == "" || *current == "" || *bench == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline, -current and -benchmark are required")
+		os.Exit(2)
+	}
+	base, err := parseArtifact(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := parseArtifact(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	baseMetric, err := metric(base, *bench, *reference, *baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	curMetric, err := metric(cur, *bench, *reference, *current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	ratio := curMetric / baseMetric
+	unit := "ns/op"
+	if *reference != "" {
+		unit = "x reference"
+	}
+	fmt.Printf("benchgate: %s baseline %.4g %s, current %.4g %s, ratio %.3f (max %.2f)\n",
+		*bench, baseMetric, unit, curMetric, unit, ratio, *maxRatio)
+	if ratio > *maxRatio {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s regressed %.1f%% beyond the %.0f%% tolerance\n",
+			*bench, (ratio-1)*100, (*maxRatio-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
