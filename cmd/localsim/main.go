@@ -8,15 +8,21 @@
 //	localsim -graph cycle -n 1000 -decider degree2 -backend sharded -dedup
 //	localsim -graph star -n 6 -decider degree2 -backend mp
 //	localsim -graph cycle -n 500 -decider degree2 -runs 5 -cache
+//	localsim -graph pyramid -n 10 -decider triangle-free -backend sharded -dedup -summary
 //
-// Graphs: cycle, path, star, grid (rows x cols ~ n x 4), tree (depth n).
+// Graphs: cycle, path, star, grid (rows x cols ~ n x 4), tree (depth n),
+// pyramid (the Appendix-A layered quadtree of height n: n=10 is the
+// 1024x1024 base, ~1.4 million nodes — the engine-scale sweep workload the
+// arithmetic coordinate indexing unlocked).
 // Deciders: 3col (labels random colours), mis (labels random bits),
 // degree2, triangle-free.
 // Backends: sequential (default), sharded (worker pool), mp (goroutine
 // message passing). -dedup decides each distinct canonical view once.
 // -runs repeats the evaluation; with -cache the runs share one cross-run
 // verdict cache (engine.ViewCache), so later runs reuse every verdict
-// decided earlier — the per-run stats lines show the hits.
+// decided earlier — the per-run stats lines show the hits. -summary
+// suppresses the per-node verdict lines, which at pyramid scale would be
+// millions of lines of output.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/props"
+	"repro/internal/tree"
 )
 
 func main() {
@@ -39,7 +46,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("localsim", flag.ContinueOnError)
-	graphKind := fs.String("graph", "cycle", "cycle | path | star | grid | tree")
+	graphKind := fs.String("graph", "cycle", "cycle | path | star | grid | tree | pyramid")
 	n := fs.Int("n", 8, "size parameter")
 	deciderName := fs.String("decider", "3col", "3col | mis | degree2 | triangle-free")
 	seed := fs.Int64("seed", 1, "label seed")
@@ -48,6 +55,7 @@ func run(args []string) error {
 	useMP := fs.Bool("mp", false, "shorthand for -backend mp")
 	runs := fs.Int("runs", 1, "repeat the evaluation this many times")
 	useCache := fs.Bool("cache", false, "share a cross-run verdict cache between runs (implies -dedup)")
+	summary := fs.Bool("summary", false, "suppress per-node verdict lines (use for large instances)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,8 +100,10 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("graph=%s n=%d decider=%s backend=%s\n", *graphKind, l.N(), alg.Name(), out.Stats.Scheduler)
-	for v := 0; v < l.N(); v++ {
-		fmt.Printf("  node %3d  label=%-8q  verdict=%s\n", v, l.Labels[v], out.Verdicts[v])
+	if !*summary {
+		for v := 0; v < l.N(); v++ {
+			fmt.Printf("  node %3d  label=%-8q  verdict=%s\n", v, l.Labels[v], out.Verdicts[v])
+		}
 	}
 	if out.Accepted {
 		fmt.Println("globally ACCEPTED (all nodes yes)")
@@ -144,6 +154,11 @@ func buildGraph(kind string, n int) (*graph.Graph, error) {
 		return graph.Grid(n, 4), nil
 	case "tree":
 		return graph.CompleteBinaryTree(n), nil
+	case "pyramid":
+		if n < 0 || n > 12 {
+			return nil, fmt.Errorf("pyramid height %d out of range [0,12]", n)
+		}
+		return tree.NewPyramid(n).G, nil
 	default:
 		return nil, fmt.Errorf("unknown graph kind %q", kind)
 	}

@@ -12,6 +12,8 @@ func TestLocalsimCombos(t *testing.T) {
 		{"-graph", "cycle", "-n", "6", "-decider", "3col", "-mp"},
 		{"-graph", "cycle", "-n", "50", "-decider", "degree2", "-runs", "3", "-cache"},
 		{"-graph", "grid", "-n", "8", "-decider", "triangle-free", "-backend", "sharded", "-runs", "2", "-cache"},
+		{"-graph", "pyramid", "-n", "2", "-decider", "triangle-free"},
+		{"-graph", "pyramid", "-n", "4", "-decider", "degree2", "-backend", "sharded", "-dedup", "-summary"},
 	}
 	for _, args := range combos {
 		if err := run(args); err != nil {
@@ -29,5 +31,8 @@ func TestLocalsimErrors(t *testing.T) {
 	}
 	if err := run([]string{"-runs", "0"}); err == nil {
 		t.Error("non-positive -runs accepted")
+	}
+	if err := run([]string{"-graph", "pyramid", "-n", "13"}); err == nil {
+		t.Error("out-of-range pyramid height accepted")
 	}
 }

@@ -1,132 +1,107 @@
 package graph
 
-// BFSFrom runs a breadth-first search from source and returns the distance to
-// every node; unreachable nodes get distance -1. The traversal walks the flat
-// CSR neighbour array directly, so each node's edge scan is one contiguous
-// int32 range.
+import "sync"
+
+// The whole-graph analyses on *Graph are thin wrappers over a pooled
+// Traversal (see traversal.go): each call borrows a scratch from a
+// sync.Pool, runs the allocation-free traversal, and copies out only what
+// its historical signature promises the caller owns. Hot paths that run
+// many analyses should hold their own Traversal and use the scratch API
+// directly; these wrappers exist so the one-shot call sites (tests,
+// verifiers, small experiments) keep their familiar shape.
+
+// traversalPool recycles Traversal scratch across the wrapper methods. A
+// pooled scratch retains the largest host size it has seen, so repeated
+// wrapper calls on large graphs stop re-growing arrays.
+var traversalPool = sync.Pool{New: func() any { return NewTraversal() }}
+
+// BFSFrom runs a breadth-first search from source and returns the distance
+// to every node; unreachable nodes get distance -1. The returned slice is
+// freshly allocated and owned by the caller (one Θ(n) allocation); use
+// Traversal.BFSFrom to reuse the distance vector across calls.
 func (g *Graph) BFSFrom(source int) []int {
-	g.check(source)
-	dist := make([]int, g.N())
-	for i := range dist {
-		dist[i] = -1
+	t := traversalPool.Get().(*Traversal)
+	d32 := t.BFSFrom(g, source)
+	dist := make([]int, len(d32))
+	for i, d := range d32 {
+		dist[i] = int(d)
 	}
-	dist[source] = 0
-	queue := []int{source}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, u := range g.row(v) {
-			if dist[u] == -1 {
-				dist[u] = dist[v] + 1
-				queue = append(queue, int(u))
-			}
-		}
-	}
+	traversalPool.Put(t)
 	return dist
 }
 
-// Ball returns the nodes within distance t of v (the set B(v, t)), sorted by
-// (distance, node index). The center v is always first.
+// Ball returns the nodes within distance t of v (the set B(v, t)), centre
+// first, in BFS discovery order. The returned slice is freshly allocated
+// and owned by the caller; use Traversal.Ball for the allocation-free
+// variant. (This wrapper is on the engine's view-extraction comparison
+// path in tests; it used to build a map of distances per call.)
 func (g *Graph) Ball(v, t int) []int {
-	g.check(v)
-	if t < 0 {
-		panic("graph: negative radius")
-	}
-	dist := make(map[int]int, 16)
-	dist[v] = 0
-	ball := []int{v}
-	frontier := []int{v}
-	for d := 0; d < t && len(frontier) > 0; d++ {
-		var next []int
-		for _, w := range frontier {
-			for _, u := range g.row(w) {
-				if _, seen := dist[int(u)]; !seen {
-					dist[int(u)] = d + 1
-					next = append(next, int(u))
-					ball = append(ball, int(u))
-				}
-			}
-		}
-		frontier = next
-	}
+	tr := traversalPool.Get().(*Traversal)
+	ball := append([]int(nil), tr.Ball(g, v, t)...)
+	traversalPool.Put(tr)
 	return ball
 }
 
-// IsConnected reports whether the graph is connected. The empty graph counts
-// as connected.
+// IsConnected reports whether the graph is connected. The empty graph
+// counts as connected. Allocation-free apart from pool traffic; see
+// Traversal.IsConnected for the scratch-reusing variant.
 func (g *Graph) IsConnected() bool {
-	if g.N() == 0 {
-		return true
-	}
-	dist := g.BFSFrom(0)
-	for _, d := range dist {
-		if d == -1 {
-			return false
-		}
-	}
-	return true
+	t := traversalPool.Get().(*Traversal)
+	connected := t.IsConnected(g)
+	traversalPool.Put(t)
+	return connected
 }
 
-// ConnectedComponents returns the node sets of the connected components, each
-// sorted, in order of smallest member.
+// ConnectedComponents returns the node sets of the connected components,
+// each sorted ascending, in order of smallest member. The component slices
+// are freshly allocated views into one flat backing array owned by the
+// caller. Scratch-reusing callers should use Traversal.ComponentIDs, which
+// returns the per-node id vector without materialising the groups: the
+// groups here are rebuilt by a counting pass over the ids (ascending node
+// order makes every group sorted with no per-component sort at all).
 func (g *Graph) ConnectedComponents() [][]int {
-	comp := make([]int, g.N())
-	for i := range comp {
-		comp[i] = -1
+	t := traversalPool.Get().(*Traversal)
+	comp, count := t.ComponentIDs(g)
+	if count == 0 {
+		traversalPool.Put(t)
+		return nil
 	}
-	var components [][]int
-	for start := 0; start < g.N(); start++ {
-		if comp[start] != -1 {
-			continue
-		}
-		id := len(components)
-		comp[start] = id
-		nodes := []int{start}
-		queue := []int{start}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, u := range g.row(v) {
-				if comp[u] == -1 {
-					comp[u] = id
-					nodes = append(nodes, int(u))
-					queue = append(queue, int(u))
-				}
-			}
-		}
-		components = append(components, nodes)
+	sizes := make([]int, count)
+	for _, id := range comp {
+		sizes[id]++
 	}
-	for _, nodes := range components {
-		sortInts(nodes)
+	flat := make([]int, g.N())
+	components := make([][]int, count)
+	off := 0
+	for id, size := range sizes {
+		components[id] = flat[off : off : off+size]
+		off += size
 	}
+	for v, id := range comp {
+		components[id] = append(components[id], v)
+	}
+	traversalPool.Put(t)
 	return components
 }
 
-// Diameter returns the largest finite shortest-path distance. It returns -1
-// for a disconnected or empty graph.
+// Diameter returns the largest finite shortest-path distance. It returns
+// -1 for a disconnected or empty graph. The n BFS passes share one pooled
+// scratch (no per-source distance vector); see Traversal.Diameter.
 func (g *Graph) Diameter() int {
-	if g.N() == 0 {
-		return -1
-	}
-	diameter := 0
-	for v := 0; v < g.N(); v++ {
-		dist := g.BFSFrom(v)
-		for _, d := range dist {
-			if d == -1 {
-				return -1
-			}
-			if d > diameter {
-				diameter = d
-			}
-		}
-	}
-	return diameter
+	t := traversalPool.Get().(*Traversal)
+	d := t.Diameter(g)
+	traversalPool.Put(t)
+	return d
 }
 
-// Distance returns the shortest-path distance between u and v, or -1 if they
-// are in different components.
+// Distance returns the shortest-path distance between u and v, or -1 if
+// they are in different components. The search stops as soon as v is
+// reached; see Traversal.Distance for the scratch-reusing variant.
 func (g *Graph) Distance(u, v int) int {
-	return g.BFSFrom(u)[v]
+	t := traversalPool.Get().(*Traversal)
+	d := t.Distance(g, u, v)
+	traversalPool.Put(t)
+	return d
 }
 
 // IsTree reports whether the graph is connected and acyclic.
@@ -134,48 +109,11 @@ func (g *Graph) IsTree() bool {
 	return g.N() > 0 && g.IsConnected() && g.M() == g.N()-1
 }
 
-// HasCycle reports whether the graph contains any cycle.
+// HasCycle reports whether the graph contains any cycle. Allocation-free
+// apart from pool traffic; see Traversal.HasCycle.
 func (g *Graph) HasCycle() bool {
-	visited := make([]bool, g.N())
-	parent := make([]int, g.N())
-	for i := range parent {
-		parent[i] = -1
-	}
-	for start := 0; start < g.N(); start++ {
-		if visited[start] {
-			continue
-		}
-		visited[start] = true
-		stack := []int{start}
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, u := range g.row(v) {
-				if !visited[u] {
-					visited[u] = true
-					parent[u] = v
-					stack = append(stack, int(u))
-				} else if parent[v] != int(u) {
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j-1] > s[j]; j-- {
-			s[j-1], s[j] = s[j], s[j-1]
-		}
-	}
-}
-
-func sortInt32s(s []int32) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j-1] > s[j]; j-- {
-			s[j-1], s[j] = s[j], s[j-1]
-		}
-	}
+	t := traversalPool.Get().(*Traversal)
+	c := t.HasCycle(g)
+	traversalPool.Put(t)
+	return c
 }

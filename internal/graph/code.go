@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -283,7 +284,7 @@ func (w *CodeWorkspace) refine(g *Graph, colors []int, k int) int {
 			for _, u := range nbrs[offsets[v]:offsets[v+1]] {
 				w.sigBuf = append(w.sigBuf, colors[u])
 			}
-			sortInts(w.sigBuf[start:])
+			slices.Sort(w.sigBuf[start:])
 			w.sigLen[v] = len(w.sigBuf) - w.sigPos[v]
 		}
 		order := w.order[:n]
@@ -408,7 +409,7 @@ func (w *CodeWorkspace) encode(l *Labeled, root int, colors []int, out []byte) [
 			// colour.
 			p = append(p, colors[u])
 		}
-		sortInts(p)
+		slices.Sort(p)
 		w.encNbrs = p
 		for _, q := range p {
 			out = binary.AppendUvarint(out, uint64(q))

@@ -1,5 +1,7 @@
 package graph
 
+import "slices"
+
 // ViewExtractor extracts radius-t views in bulk while reusing all scratch
 // memory between calls: the BFS stamp array, the frontier queues, the view's
 // flat CSR arrays, and the label/identifier/original-index buffers. One
@@ -119,7 +121,7 @@ func (x *ViewExtractor) At(v, t int) *View {
 				x.viewNbrs = append(x.viewNbrs, x.viewIndex[u])
 			}
 		}
-		sortInt32s(x.viewNbrs[start:])
+		slices.Sort(x.viewNbrs[start:])
 		x.viewOffsets = append(x.viewOffsets, int32(len(x.viewNbrs)))
 	}
 	for i, w := range x.ball {

@@ -1,0 +1,303 @@
+package graph
+
+import "math"
+
+// Traversal is reusable scratch memory for whole-graph analyses: one
+// persistent int32 queue plus epoch-stamped distance/visited/parent arrays
+// that back scratch-aware variants of BFSFrom, Ball, IsConnected,
+// ComponentIDs (the scratch shape of ConnectedComponents), Diameter,
+// Distance and HasCycle. It mirrors ViewExtractor's role for view
+// extraction: one Traversal per worker turns repeated whole-graph analyses
+// into a 0 allocs/op steady state, which is what makes diameter sweeps and
+// component scans over the n=10^6 instances (cycles, sparse random graphs,
+// the height-10 pyramids) allocator-quiet.
+//
+// Epoch stamping: partial traversals (Ball, Distance, the per-source BFS
+// inside Diameter) never clear their per-node state. A node counts as
+// visited only when stamp[v] equals the current epoch, so starting the next
+// traversal is one counter increment instead of an O(n) wipe — a Ball of 7
+// nodes in a 10^6-node host touches 7 stamps, not 10^6. The epoch counter
+// is wrapped safely: when it would overflow, the stamp array is zeroed once
+// and counting restarts, so a stale stamp can never alias a live epoch.
+// Full-output analyses (BFSFrom's distance vector, ComponentIDs' id vector)
+// are Θ(n) by contract and fill a reused output buffer instead.
+//
+// A Traversal may be reused across graphs of different sizes; the scratch
+// grows to the largest host seen. The zero value is ready to use.
+//
+// Lifetime contract: slices returned by BFSFrom, Ball and ComponentIDs are
+// owned by the Traversal and valid only until its next call. Callers that
+// retain results must copy them (the package-level Graph methods are exactly
+// those copying wrappers).
+//
+// A Traversal is not safe for concurrent use; give each goroutine its own.
+type Traversal struct {
+	// Epoch-stamped per-node state, sized to the largest host seen. dist and
+	// parent are only meaningful at indices where stamp equals epoch.
+	stamp  []int32
+	dist   []int32
+	parent []int32
+	epoch  int32
+
+	// queue is the persistent BFS queue (also the DFS stack of HasCycle).
+	queue []int32
+
+	// Reused output buffers: Ball's node list, BFSFrom's full distance
+	// vector, ComponentIDs' id vector.
+	ball    []int
+	distOut []int32
+	comp    []int32
+}
+
+// NewTraversal returns an empty Traversal. Equivalent to new(Traversal);
+// scratch arrays are grown on first use.
+func NewTraversal() *Traversal { return &Traversal{} }
+
+// next begins a new epoch with per-node state grown to n nodes.
+func (t *Traversal) next(n int) {
+	if len(t.stamp) < n {
+		// Fresh arrays are zeroed, so restart the epoch count: stamp 0 never
+		// equals an epoch >= 1.
+		t.stamp = make([]int32, n)
+		t.dist = make([]int32, n)
+		t.parent = make([]int32, n)
+		t.epoch = 0
+	}
+	if t.epoch == math.MaxInt32 {
+		for i := range t.stamp {
+			t.stamp[i] = 0
+		}
+		t.epoch = 0
+	}
+	t.epoch++
+}
+
+// BFSFrom runs a breadth-first search from source and returns the distance
+// to every node; unreachable nodes get distance -1. The returned slice is
+// scratch-owned: it is valid until the Traversal's next call and must be
+// copied to be retained. Steady-state the call is 0 allocs/op; the
+// distance fill is Θ(n) by contract.
+func (t *Traversal) BFSFrom(g *Graph, source int) []int32 {
+	g.check(source)
+	n := g.N()
+	if cap(t.distOut) < n {
+		t.distOut = make([]int32, n)
+	}
+	dist := t.distOut[:n]
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	q := append(t.queue[:0], int32(source))
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		dv := dist[v] + 1
+		for _, u := range g.row(int(v)) {
+			if dist[u] == -1 {
+				dist[u] = dv
+				q = append(q, u)
+			}
+		}
+	}
+	t.queue = q
+	return dist
+}
+
+// Ball returns the nodes within distance radius of v, in BFS discovery
+// order with the centre first — element-for-element the same order as
+// Graph.Ball. The returned slice is scratch-owned (valid until the next
+// call); the traversal touches only the ball, not the whole host, and is
+// 0 allocs/op steady-state.
+func (t *Traversal) Ball(g *Graph, v, radius int) []int {
+	g.check(v)
+	if radius < 0 {
+		panic("graph: negative radius")
+	}
+	t.next(g.N())
+	e := t.epoch
+	t.stamp[v] = e
+	t.dist[v] = 0
+	ball := append(t.ball[:0], v)
+	q := append(t.queue[:0], int32(v))
+	for head := 0; head < len(q); head++ {
+		w := q[head]
+		dw := t.dist[w]
+		if int(dw) == radius {
+			// FIFO order makes distances monotone: everything still queued is
+			// already at the radius.
+			break
+		}
+		for _, u := range g.row(int(w)) {
+			if t.stamp[u] != e {
+				t.stamp[u] = e
+				t.dist[u] = dw + 1
+				q = append(q, u)
+				ball = append(ball, int(u))
+			}
+		}
+	}
+	t.queue, t.ball = q, ball
+	return ball
+}
+
+// IsConnected reports whether the graph is connected; the empty graph
+// counts as connected. 0 allocs/op steady-state.
+func (t *Traversal) IsConnected(g *Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	_, reached := t.eccentricity(g, 0)
+	return reached == n
+}
+
+// ComponentIDs labels every node with its connected-component id and
+// returns the id vector together with the component count. Ids are dense
+// and assigned in order of each component's smallest member, so grouping
+// nodes 0..n-1 by id yields exactly Graph.ConnectedComponents. The id
+// vector is scratch-owned (valid until the next call); steady-state the
+// scan is 0 allocs/op.
+func (t *Traversal) ComponentIDs(g *Graph) ([]int32, int) {
+	n := g.N()
+	if cap(t.comp) < n {
+		t.comp = make([]int32, n)
+	}
+	comp := t.comp[:n]
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	q := t.queue[:0]
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[start] = id
+		q = append(q[:0], int32(start))
+		for head := 0; head < len(q); head++ {
+			for _, u := range g.row(int(q[head])) {
+				if comp[u] == -1 {
+					comp[u] = id
+					q = append(q, u)
+				}
+			}
+		}
+	}
+	t.queue = q
+	return comp, count
+}
+
+// Diameter returns the largest finite shortest-path distance, or -1 for a
+// disconnected or empty graph. It runs one stamped BFS per node over the
+// shared scratch — 0 allocs/op steady-state, where the slice-allocating
+// equivalent churns ~n fresh distance vectors.
+func (t *Traversal) Diameter(g *Graph) int {
+	n := g.N()
+	if n == 0 {
+		return -1
+	}
+	diameter := 0
+	for v := 0; v < n; v++ {
+		ecc, reached := t.eccentricity(g, v)
+		if reached != n {
+			return -1
+		}
+		if ecc > diameter {
+			diameter = ecc
+		}
+	}
+	return diameter
+}
+
+// Distance returns the shortest-path distance between u and v, or -1 if
+// they are in different components. The BFS stops as soon as v is reached.
+// 0 allocs/op steady-state.
+func (t *Traversal) Distance(g *Graph, u, v int) int {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return 0
+	}
+	t.next(g.N())
+	e := t.epoch
+	t.stamp[u] = e
+	t.dist[u] = 0
+	q := append(t.queue[:0], int32(u))
+	for head := 0; head < len(q); head++ {
+		w := q[head]
+		dw := t.dist[w]
+		for _, x := range g.row(int(w)) {
+			if t.stamp[x] != e {
+				if int(x) == v {
+					t.queue = q
+					return int(dw) + 1
+				}
+				t.stamp[x] = e
+				t.dist[x] = dw + 1
+				q = append(q, x)
+			}
+		}
+	}
+	t.queue = q
+	return -1
+}
+
+// HasCycle reports whether the graph contains any cycle. It runs the same
+// stack-based search as Graph.HasCycle over epoch-stamped visited/parent
+// scratch. 0 allocs/op steady-state.
+func (t *Traversal) HasCycle(g *Graph) bool {
+	n := g.N()
+	t.next(n)
+	e := t.epoch
+	q := t.queue[:0] // used as a stack here
+	for start := 0; start < n; start++ {
+		if t.stamp[start] == e {
+			continue
+		}
+		t.stamp[start] = e
+		t.parent[start] = -1
+		q = append(q[:0], int32(start))
+		for len(q) > 0 {
+			v := q[len(q)-1]
+			q = q[:len(q)-1]
+			for _, u := range g.row(int(v)) {
+				if t.stamp[u] != e {
+					t.stamp[u] = e
+					t.parent[u] = v
+					q = append(q, u)
+				} else if t.parent[v] != u {
+					t.queue = q
+					return true
+				}
+			}
+		}
+	}
+	t.queue = q
+	return false
+}
+
+// eccentricity runs a stamped BFS from source and returns the distance to
+// the farthest reached node together with the number of nodes reached.
+func (t *Traversal) eccentricity(g *Graph, source int) (ecc, reached int) {
+	t.next(g.N())
+	e := t.epoch
+	t.stamp[source] = e
+	t.dist[source] = 0
+	q := append(t.queue[:0], int32(source))
+	var last int32
+	for head := 0; head < len(q); head++ {
+		w := q[head]
+		last = t.dist[w]
+		for _, u := range g.row(int(w)) {
+			if t.stamp[u] != e {
+				t.stamp[u] = e
+				t.dist[u] = last + 1
+				q = append(q, u)
+			}
+		}
+	}
+	t.queue = q
+	return int(last), len(q)
+}

@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Scratch-vs-fresh parity for the six traversal entry points: one Traversal
+// reused across every host (exercising epoch reuse and scratch growth) must
+// agree with naive per-call reference implementations, and with the pooled
+// Graph wrappers, on every graph of a randomized family.
+
+// refBFSFrom is the pre-scratch allocating BFS, kept as the reference.
+func refBFSFrom(g *Graph, source int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.row(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	return dist
+}
+
+// refBall is the pre-scratch map-backed Ball, kept as the reference for
+// content and order.
+func refBall(g *Graph, v, t int) []int {
+	dist := map[int]int{v: 0}
+	ball := []int{v}
+	frontier := []int{v}
+	for d := 0; d < t && len(frontier) > 0; d++ {
+		var next []int
+		for _, w := range frontier {
+			for _, u := range g.row(w) {
+				if _, seen := dist[int(u)]; !seen {
+					dist[int(u)] = d + 1
+					next = append(next, int(u))
+					ball = append(ball, int(u))
+				}
+			}
+		}
+		frontier = next
+	}
+	return ball
+}
+
+func traversalHosts() []*Graph {
+	rng := rand.New(rand.NewSource(7))
+	hosts := []*Graph{
+		New(0),
+		New(1),
+		New(5), // isolated nodes
+		Path(9),
+		Cycle(12),
+		Star(7),
+		Grid(4, 5),
+		CompleteBinaryTree(4),
+	}
+	// Random graphs across densities, plus multi-component variants.
+	for i := 0; i < 12; i++ {
+		n := 2 + rng.Intn(40)
+		hosts = append(hosts, Random(n, rng.Float64()*0.2, rng.Int63()))
+		// Two random components glued into one graph without cross edges.
+		a := Random(1+rng.Intn(15), 0.2, rng.Int63())
+		bG := Random(1+rng.Intn(15), 0.1, rng.Int63())
+		b := NewBuilderHint(a.N()+bG.N(), a.M()+bG.M())
+		b.AddGraphAt(a, 0)
+		b.AddGraphAt(bG, a.N())
+		hosts = append(hosts, b.Build())
+	}
+	return hosts
+}
+
+func TestTraversalParity(t *testing.T) {
+	tr := NewTraversal() // one scratch across every host and entry point
+	for gi, g := range traversalHosts() {
+		n := g.N()
+		for _, source := range []int{0, n / 2, n - 1} {
+			if source < 0 || source >= n {
+				continue
+			}
+			want := refBFSFrom(g, source)
+			got32 := tr.BFSFrom(g, source)
+			wrapped := g.BFSFrom(source)
+			if len(got32) != len(want) {
+				t.Fatalf("host %d: BFSFrom length %d, want %d", gi, len(got32), len(want))
+			}
+			for v := range want {
+				if int(got32[v]) != want[v] || wrapped[v] != want[v] {
+					t.Fatalf("host %d: BFSFrom(%d) dist[%d] scratch=%d wrapper=%d want=%d",
+						gi, source, v, got32[v], wrapped[v], want[v])
+				}
+			}
+			for radius := 0; radius <= 4; radius++ {
+				want := refBall(g, source, radius)
+				got := tr.Ball(g, source, radius)
+				wrapped := g.Ball(source, radius)
+				if len(got) != len(want) || len(wrapped) != len(want) {
+					t.Fatalf("host %d: Ball(%d,%d) sizes %d/%d, want %d",
+						gi, source, radius, len(got), len(wrapped), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] || wrapped[i] != want[i] {
+						t.Fatalf("host %d: Ball(%d,%d)[%d] scratch=%d wrapper=%d want=%d",
+							gi, source, radius, i, got[i], wrapped[i], want[i])
+					}
+				}
+			}
+			for _, target := range []int{0, n - 1, n / 3} {
+				if target < 0 || target >= n {
+					continue
+				}
+				want := refBFSFrom(g, source)[target]
+				if got := tr.Distance(g, source, target); got != want {
+					t.Fatalf("host %d: Distance(%d,%d) = %d, want %d", gi, source, target, got, want)
+				}
+			}
+		}
+
+		// Connectivity / components from the same distances.
+		wantConnected := true
+		var wantComponents [][]int
+		{
+			comp := make([]int, n)
+			for i := range comp {
+				comp[i] = -1
+			}
+			for start := 0; start < n; start++ {
+				if comp[start] != -1 {
+					continue
+				}
+				id := len(wantComponents)
+				var nodes []int
+				for v, d := range refBFSFrom(g, start) {
+					if d != -1 {
+						comp[v] = id
+						nodes = append(nodes, v)
+					}
+				}
+				wantComponents = append(wantComponents, nodes)
+			}
+			wantConnected = n == 0 || len(wantComponents) == 1
+		}
+		if got := tr.IsConnected(g); got != wantConnected {
+			t.Fatalf("host %d: IsConnected scratch = %v, want %v", gi, got, wantConnected)
+		}
+		if got := g.IsConnected(); got != wantConnected {
+			t.Fatalf("host %d: IsConnected wrapper = %v, want %v", gi, got, wantConnected)
+		}
+		ids, count := tr.ComponentIDs(g)
+		if count != len(wantComponents) {
+			t.Fatalf("host %d: %d components, want %d", gi, count, len(wantComponents))
+		}
+		for id, nodes := range wantComponents {
+			for _, v := range nodes {
+				if int(ids[v]) != id {
+					t.Fatalf("host %d: node %d in component %d, want %d", gi, v, ids[v], id)
+				}
+			}
+		}
+		gotComponents := g.ConnectedComponents()
+		if len(gotComponents) != len(wantComponents) {
+			t.Fatalf("host %d: wrapper %d components, want %d", gi, len(gotComponents), len(wantComponents))
+		}
+		for id := range wantComponents {
+			if len(gotComponents[id]) != len(wantComponents[id]) {
+				t.Fatalf("host %d: component %d size %d, want %d",
+					gi, id, len(gotComponents[id]), len(wantComponents[id]))
+			}
+			for i := range wantComponents[id] {
+				if gotComponents[id][i] != wantComponents[id][i] {
+					t.Fatalf("host %d: component %d entry %d = %d, want %d",
+						gi, id, i, gotComponents[id][i], wantComponents[id][i])
+				}
+			}
+		}
+
+		// Diameter reference: max eccentricity over reference BFS.
+		wantDiameter := -1
+		if n > 0 && wantConnected {
+			wantDiameter = 0
+			for v := 0; v < n; v++ {
+				for _, d := range refBFSFrom(g, v) {
+					if d > wantDiameter {
+						wantDiameter = d
+					}
+				}
+			}
+		}
+		if got := tr.Diameter(g); got != wantDiameter {
+			t.Fatalf("host %d: Diameter scratch = %d, want %d", gi, got, wantDiameter)
+		}
+		if got := g.Diameter(); got != wantDiameter {
+			t.Fatalf("host %d: Diameter wrapper = %d, want %d", gi, got, wantDiameter)
+		}
+
+		// Cycle reference: a graph has a cycle iff some component has at
+		// least as many edges as nodes.
+		wantCycle := false
+		for _, nodes := range wantComponents {
+			edges := 0
+			for _, v := range nodes {
+				edges += g.Degree(v)
+			}
+			if edges/2 >= len(nodes) {
+				wantCycle = true
+			}
+		}
+		if got := tr.HasCycle(g); got != wantCycle {
+			t.Fatalf("host %d: HasCycle scratch = %v, want %v", gi, got, wantCycle)
+		}
+		if got := g.HasCycle(); got != wantCycle {
+			t.Fatalf("host %d: HasCycle wrapper = %v, want %v", gi, got, wantCycle)
+		}
+	}
+}
+
+// TestTraversalWrapperConcurrency hammers the pooled wrappers from many
+// goroutines; -race verifies that pool recycling never shares live scratch.
+func TestTraversalWrapperConcurrency(t *testing.T) {
+	g := Random(400, 0.01, 3)
+	want := refBFSFrom(g, 0)
+	wantBall := refBall(g, 5, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				dist := g.BFSFrom(0)
+				for v := range want {
+					if dist[v] != want[v] {
+						t.Errorf("concurrent BFSFrom mismatch at %d", v)
+						return
+					}
+				}
+				ball := g.Ball(5, 3)
+				for i := range wantBall {
+					if ball[i] != wantBall[i] {
+						t.Errorf("concurrent Ball mismatch at %d", i)
+						return
+					}
+				}
+				g.IsConnected()
+				g.ConnectedComponents()
+				g.HasCycle()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTraversalEpochWrap forces the epoch counter over its wrap boundary
+// and checks stamped traversals stay correct afterwards.
+func TestTraversalEpochWrap(t *testing.T) {
+	tr := NewTraversal()
+	g := Cycle(8)
+	tr.Ball(g, 0, 1) // grow scratch to n=8
+	tr.epoch = 1<<31 - 3
+	for i := 0; i < 6; i++ {
+		ball := tr.Ball(g, 0, 1)
+		if len(ball) != 3 || ball[0] != 0 {
+			t.Fatalf("ball wrong after epoch wrap: %v", ball)
+		}
+		if d := tr.Distance(g, 0, 4); d != 4 {
+			t.Fatalf("distance wrong after epoch wrap: %d", d)
+		}
+	}
+	if tr.epoch >= 1<<31-1 || tr.epoch <= 0 {
+		t.Fatalf("epoch did not wrap safely: %d", tr.epoch)
+	}
+}

@@ -83,21 +83,21 @@ func (p Params) BuildPyramidalG() (*PyramidalAssembly, error) {
 	labels := make([]graph.Label, total)
 
 	// Table pyramid: base nodes carry cell labels; upper layers carry the
-	// universal label.
+	// universal label. Base-grid ids come from the arithmetic BaseNode
+	// formula, and the upper layers are exactly the id range from
+	// LevelOffset(1) up — no per-node coordinate dispatch.
 	offset := 0
 	tableBase := make([][]int, side)
 	for y := 0; y < side; y++ {
 		tableBase[y] = make([]int, side)
-	}
-	for v := 0; v < tablePyr.N(); v++ {
-		c := tablePyr.Coords3[v]
-		node := offset + v
-		if c[2] == 0 {
-			tableBase[c[1]][c[0]] = node
-			labels[node] = p.NodeLabel(table.Cell(c[1], c[0]), c[0]%3, c[1]%3)
-		} else {
-			labels[node] = p.PyrLabel()
+		for x := 0; x < side; x++ {
+			node := offset + tablePyr.BaseNode(x, y)
+			tableBase[y][x] = node
+			labels[node] = p.NodeLabel(table.Cell(y, x), x%3, y%3)
 		}
+	}
+	for v := tablePyr.LevelOffset(1); v < tablePyr.N(); v++ {
+		labels[offset+v] = p.PyrLabel()
 	}
 	b.AddGraphAt(tablePyr.G, offset)
 	tableApex := offset + tablePyr.Apex()
@@ -111,16 +111,14 @@ func (p Params) BuildPyramidalG() (*PyramidalAssembly, error) {
 		base := make([][]int, PyramidFragmentSide)
 		for y := range base {
 			base[y] = make([]int, PyramidFragmentSide)
-		}
-		for v := 0; v < pyr.N(); v++ {
-			c := pyr.Coords3[v]
-			node := offset + v
-			if c[2] == 0 {
-				base[c[1]][c[0]] = node
-				labels[node] = p.NodeLabel(pf.Fragment.Cells[c[1]][c[0]], c[0]%3, c[1]%3)
-			} else {
-				labels[node] = p.PyrLabel()
+			for x := range base[y] {
+				node := offset + pyr.BaseNode(x, y)
+				base[y][x] = node
+				labels[node] = p.NodeLabel(pf.Fragment.Cells[y][x], x%3, y%3)
 			}
+		}
+		for v := pyr.LevelOffset(1); v < pyr.N(); v++ {
+			labels[offset+v] = p.PyrLabel()
 		}
 		b.AddGraphAt(pyr.G, offset)
 		fragmentApex[i] = offset + pyr.Apex()
@@ -157,7 +155,14 @@ func (p Params) BuildPyramidalG() (*PyramidalAssembly, error) {
 func (a *PyramidalAssembly) CheckPyramidal() error {
 	p := a.Params
 
-	// Step 1: labels parse with the right prefix.
+	// Step 1: labels parse with the right prefix, and the assembly is one
+	// component (every fragment pyramid is glued to the pivot; a detached
+	// grid could never be certified by the table's apex). IsConnected runs
+	// on pooled graph.Traversal scratch, so repeated checks over an
+	// instance family reuse BFS buffers instead of allocating per call.
+	if !a.Labeled.G.IsConnected() {
+		return fmt.Errorf("halting: pyramidal assembly is disconnected")
+	}
 	prefix := p.GMLabel()
 	for v, lab := range a.Labeled.Labels {
 		if len(lab) < len(prefix) || lab[:len(prefix)] != prefix {
@@ -229,7 +234,8 @@ func (a *PyramidalAssembly) CheckPyramidal() error {
 // DistanceShrinkage quantifies Figure 3's point: the pyramid shortens
 // worst-case distances on the base grid from linear to logarithmic. It
 // returns the grid-only distance and the in-pyramid distance between
-// opposite corners of the table base.
+// opposite corners of the table base. The distance query runs on pooled
+// graph.Traversal scratch and stops as soon as the far corner is reached.
 func (a *PyramidalAssembly) DistanceShrinkage() (gridDist, pyramidDist int) {
 	side := len(a.TableBase)
 	gridDist = 2 * (side - 1)

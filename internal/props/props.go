@@ -150,6 +150,52 @@ func TriangleFreeVerifier() local.ObliviousAlgorithm {
 	})
 }
 
+// Forest is the property "G is acyclic" (every component is a tree) — the
+// package doc's running example of a property that is NOT locally
+// decidable: a long cycle and a long path look identical inside every
+// radius-t ball, so no local verifier exists and the property lives on the
+// NLD side (a certificate — e.g. consistent parent pointers — fixes that).
+// The global check runs HasCycle through its pooled graph.Traversal
+// wrapper, so sweeping a suite re-uses BFS scratch across instances (and
+// across goroutines) instead of allocating per call.
+func Forest() decide.Property {
+	return decide.PropertyFunc("forest", func(l *graph.Labeled) bool {
+		return !l.G.HasCycle()
+	})
+}
+
+// ForestSuite builds yes/no instances for Forest: paths and stars (and a
+// two-component forest) against cycles and a unicyclic graph.
+func ForestSuite(sizes []int) *decide.Suite {
+	s := &decide.Suite{Name: "forest"}
+	for _, n := range sizes {
+		if n < 3 {
+			continue
+		}
+		s.Yes = append(s.Yes,
+			graph.UniformlyLabeled(graph.Path(n), ""),
+			graph.UniformlyLabeled(graph.Star(n), ""))
+		s.No = append(s.No, graph.UniformlyLabeled(graph.Cycle(n), ""))
+
+		// Two disjoint paths: still a forest.
+		b := graph.NewBuilderHint(2*n, 2*n)
+		for v := 1; v < n; v++ {
+			b.AddEdge(v-1, v)
+			b.AddEdge(n+v-1, n+v)
+		}
+		s.Yes = append(s.Yes, graph.UniformlyLabeled(b.Build(), ""))
+
+		// A path with one chord: unicyclic, not a forest.
+		u := graph.NewBuilderHint(n, n)
+		for v := 1; v < n; v++ {
+			u.AddEdge(v-1, v)
+		}
+		u.AddEdge(0, n-1)
+		s.No = append(s.No, graph.UniformlyLabeled(u.Build(), ""))
+	}
+	return s
+}
+
 // ParentPointers is the property "every node's label names the index of one
 // of its neighbours (its parent) or is 'root', and exactly the structure of
 // a consistent in-tree within each ball"... locality caveat: global

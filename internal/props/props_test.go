@@ -143,3 +143,18 @@ func TestLeaderUniqueSuite(t *testing.T) {
 		t.Error("expected view overlap between leader and no-leader cycles")
 	}
 }
+
+func TestForestSuite(t *testing.T) {
+	p := Forest()
+	if err := ForestSuite([]int{3, 6, 9}).Check(p); err != nil {
+		t.Fatal(err)
+	}
+	// The property is global: a big cycle must be rejected even though every
+	// ball of bounded radius looks path-like.
+	if p.Contains(graph.UniformlyLabeled(graph.Cycle(1000), "")) {
+		t.Error("cycle accepted as forest")
+	}
+	if !p.Contains(graph.UniformlyLabeled(graph.Path(1000), "")) {
+		t.Error("path rejected as forest")
+	}
+}

@@ -3,6 +3,8 @@ package tree
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 // Construction benchmarks at the scale the CSR substrate targets: pyramid
@@ -33,4 +35,74 @@ func BenchmarkNewLayeredTree(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPyramidNode pins the arithmetic coordinate lookup: a full sweep
+// over every coordinate of the height-8 pyramid (≈8.7×10^4 nodes) must be
+// allocation-free — this used to be one map lookup per coordinate.
+func BenchmarkPyramidNode(b *testing.B) {
+	p := NewPyramid(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		for z := 0; z <= p.H; z++ {
+			side := p.LevelSide(z)
+			for y := 0; y < side; y++ {
+				for x := 0; x < side; x++ {
+					v, ok := p.Node(x, y, z)
+					if !ok {
+						b.Fatal("miss")
+					}
+					sum += v
+				}
+			}
+		}
+		if sum == 0 {
+			b.Fatal("bad sum")
+		}
+	}
+}
+
+// BenchmarkPyramidSweep is the engine-scale pyramid workload the arithmetic
+// indexing unlocked: construct the height-h pyramid and run whole-graph
+// analyses (full BFS from the apex, component labelling) on a Traversal
+// scratch. h=10 is the n≈1.4×10^6 pin; before the rewrite the construction
+// alone spent >1.5s populating the coordinate map.
+func BenchmarkPyramidSweep(b *testing.B) {
+	for _, h := range []int{9, 10} {
+		b.Run(fmt.Sprintf("construct+analyze/h=%d", h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := NewPyramid(h)
+				tr := graph.NewTraversal()
+				dist := tr.BFSFrom(p.G, p.Apex())
+				if int(dist[p.BaseNode(0, 0)]) != p.H {
+					b.Fatal("bad apex distance")
+				}
+				if _, count := tr.ComponentIDs(p.G); count != 1 {
+					b.Fatal("pyramid disconnected")
+				}
+			}
+		})
+	}
+	// Steady-state analyses on a prebuilt pyramid: 0 allocs/op.
+	p := NewPyramid(10)
+	tr := graph.NewTraversal()
+	tr.BFSFrom(p.G, 0) // warm every scratch buffer so 1x runs report steady state
+	tr.ComponentIDs(p.G)
+	b.Run("bfs/h=10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.BFSFrom(p.G, i%p.N())
+		}
+	})
+	b.Run("components/h=10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, count := tr.ComponentIDs(p.G); count != 1 {
+				b.Fatal("pyramid disconnected")
+			}
+		}
+	})
 }

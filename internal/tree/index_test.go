@@ -1,0 +1,113 @@
+package tree
+
+import "testing"
+
+// Differential coverage for the arithmetic coordinate indexing: the O(1)
+// Node/LevelOffset formulas must agree, coordinate for coordinate, with a
+// map index rebuilt from the exported Coords/Coords3 tables — including
+// boundary coordinates and ok=false misses just outside every face.
+
+func TestLayeredTreeNodeMatchesMapIndex(t *testing.T) {
+	for _, depth := range []int{0, 1, 2, 5, 9} {
+		lt := NewLayeredTree(depth)
+		index := make(map[Coord]int, lt.N())
+		for v, c := range lt.Coords {
+			index[c] = v
+		}
+		if len(index) != lt.N() {
+			t.Fatalf("depth %d: coordinate table is not a bijection", depth)
+		}
+		for y := -1; y <= depth+1; y++ {
+			if y >= 0 && y <= depth {
+				if off := lt.LevelOffset(y); off != (1<<y)-1 {
+					t.Fatalf("depth %d: LevelOffset(%d) = %d", depth, y, off)
+				}
+				if w := lt.LevelWidth(y); w != 1<<y {
+					t.Fatalf("depth %d: LevelWidth(%d) = %d", depth, y, w)
+				}
+			}
+			hi := 1 << max(y, 0)
+			for x := -1; x <= hi; x++ {
+				c := Coord{X: x, Y: y}
+				want, wantOK := index[c]
+				got, ok := lt.Node(c)
+				if ok != wantOK {
+					t.Fatalf("depth %d: Node(%+v) ok=%v, map says %v", depth, c, ok, wantOK)
+				}
+				if ok && got != want {
+					t.Fatalf("depth %d: Node(%+v) = %d, map says %d", depth, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLayeredTreeMustNodeRoundTrip(t *testing.T) {
+	lt := NewLayeredTree(7)
+	for v, c := range lt.Coords {
+		if got := lt.MustNode(c); got != v {
+			t.Fatalf("MustNode(Coords[%d]) = %d", v, got)
+		}
+	}
+}
+
+func TestPyramidNodeMatchesMapIndex(t *testing.T) {
+	for _, h := range []int{0, 1, 2, 4, 6} {
+		p := NewPyramid(h)
+		index := make(map[[3]int]int, p.N())
+		for v, c := range p.Coords3 {
+			index[c] = v
+		}
+		if len(index) != p.N() {
+			t.Fatalf("height %d: coordinate table is not a bijection", h)
+		}
+		for z := -1; z <= h+1; z++ {
+			if z >= 0 && z <= h {
+				if side := p.LevelSide(z); side != 1<<(h-z) {
+					t.Fatalf("height %d: LevelSide(%d) = %d", h, z, side)
+				}
+				wantOff := 0
+				for zz := 0; zz < z; zz++ {
+					s := 1 << (h - zz)
+					wantOff += s * s
+				}
+				if off := p.LevelOffset(z); off != wantOff {
+					t.Fatalf("height %d: LevelOffset(%d) = %d, want %d", h, z, off, wantOff)
+				}
+			}
+			side := 1 << max(h-z, 0)
+			for y := -1; y <= side; y++ {
+				for x := -1; x <= side; x++ {
+					want, wantOK := index[[3]int{x, y, z}]
+					got, ok := p.Node(x, y, z)
+					if ok != wantOK {
+						t.Fatalf("height %d: Node(%d,%d,%d) ok=%v, map says %v", h, x, y, z, ok, wantOK)
+					}
+					if ok && got != want {
+						t.Fatalf("height %d: Node(%d,%d,%d) = %d, map says %d", h, x, y, z, got, want)
+					}
+				}
+			}
+		}
+		// LevelOffset's final entry is the node count, and the apex is the
+		// last node.
+		if p.LevelOffset(p.H)+1 != p.N() {
+			t.Fatalf("height %d: top level does not end the numbering", h)
+		}
+		if p.Apex() != p.N()-1 {
+			t.Fatalf("height %d: apex %d, want %d", h, p.Apex(), p.N()-1)
+		}
+	}
+}
+
+func TestPyramidBaseNodeRowMajor(t *testing.T) {
+	p := NewPyramid(3)
+	side := p.BaseSide()
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			if got := p.BaseNode(x, y); got != y*side+x {
+				t.Fatalf("BaseNode(%d,%d) = %d, want %d", x, y, got, y*side+x)
+			}
+		}
+	}
+}

@@ -6,6 +6,14 @@
 // natural (left-to-right) order. A pyramid is a square grid with a stack of
 // shrinking quadtree levels attached on top, which makes the grid's global
 // structure locally checkable.
+//
+// Both families have closed-form coordinate systems: node numbering is level
+// order, so each level starts at an arithmetic offset (a geometric series in
+// the level index) and a coordinate maps to its node id — and back — with
+// integer arithmetic alone. All lookups (Node, MustNode, BaseNode, Apex) are
+// O(1) and allocation-free; the packages used to carry map-based coordinate
+// indexes whose population dominated construction at scale (>1.5s of the
+// height-10 pyramid's build against ~30ms for the graph freeze itself).
 package tree
 
 import (
@@ -25,12 +33,11 @@ type LayeredTree struct {
 	Depth  int
 	G      *graph.Graph
 	Coords []Coord
-	// index maps a coordinate to its node.
-	index map[Coord]int
 }
 
 // NewLayeredTree constructs the layered depth-k tree. Node numbering is
-// level order: node for (x, y) is 2^y - 1 + x.
+// level order: node for (x, y) is 2^y - 1 + x, so coordinate lookups are
+// pure arithmetic and no index structure is built.
 func NewLayeredTree(depth int) *LayeredTree {
 	if depth < 0 {
 		panic("tree: negative depth")
@@ -39,37 +46,85 @@ func NewLayeredTree(depth int) *LayeredTree {
 		panic(fmt.Sprintf("tree: depth %d would allocate 2^%d nodes", depth, depth+1))
 	}
 	n := (1 << (depth + 1)) - 1
-	b := graph.NewBuilderHint(n, 2*n)
 	coords := make([]Coord, n)
-	index := make(map[Coord]int, n)
+	offsets := make([]int32, n+1)
+	sum := int32(0)
 	for y := 0; y <= depth; y++ {
 		width := 1 << y
 		base := width - 1
 		for x := 0; x < width; x++ {
-			v := base + x
-			coords[v] = Coord{X: x, Y: y}
-			index[Coord{X: x, Y: y}] = v
-			if x > 0 {
-				b.AddEdge(v-1, v) // level path
-			}
+			coords[base+x] = Coord{X: x, Y: y}
+			d := int32(0)
 			if y > 0 {
-				parent := (1 << (y - 1)) - 1 + x/2
-				b.AddEdge(parent, v)
+				d++ // parent
 			}
+			if x > 0 {
+				d++ // left level-path neighbour
+			}
+			if x+1 < width {
+				d++ // right level-path neighbour
+			}
+			if y < depth {
+				d += 2 // children
+			}
+			sum += d
+			offsets[base+x+1] = sum
 		}
 	}
-	return &LayeredTree{Depth: depth, G: b.Build(), Coords: coords, index: index}
+	// Each row is emitted in ascending id order directly from the closed
+	// forms: parent < left sibling < right sibling < children.
+	g := graph.BuildCSR(offsets, func(nbrs []int32) {
+		i := 0
+		for y := 0; y <= depth; y++ {
+			width := 1 << y
+			parentBase := width/2 - 1
+			childBase := 2*width - 1
+			for x := 0; x < width; x++ {
+				v := width - 1 + x
+				if y > 0 {
+					nbrs[i] = int32(parentBase + x/2)
+					i++
+				}
+				if x > 0 {
+					nbrs[i] = int32(v - 1)
+					i++
+				}
+				if x+1 < width {
+					nbrs[i] = int32(v + 1)
+					i++
+				}
+				if y < depth {
+					nbrs[i] = int32(childBase + 2*x)
+					nbrs[i+1] = int32(childBase + 2*x + 1)
+					i += 2
+				}
+			}
+		}
+	})
+	return &LayeredTree{Depth: depth, G: g, Coords: coords}
 }
 
-// Node returns the node index for a coordinate.
+// LevelOffset returns the node id of the first node of level y, the
+// geometric series 2^y - 1. It does not check that y is a level of this
+// tree; combine with LevelWidth (or use Node) for validated lookups.
+func (t *LayeredTree) LevelOffset(y int) int { return (1 << y) - 1 }
+
+// LevelWidth returns the number of nodes on level y, 2^y.
+func (t *LayeredTree) LevelWidth(y int) int { return 1 << y }
+
+// Node returns the node index for a coordinate: O(1) arithmetic
+// (LevelOffset(c.Y) + c.X), no allocation, ok=false for coordinates outside
+// the tree.
 func (t *LayeredTree) Node(c Coord) (int, bool) {
-	v, ok := t.index[c]
-	return v, ok
+	if c.Y < 0 || c.Y > t.Depth || c.X < 0 || c.X >= 1<<c.Y {
+		return 0, false
+	}
+	return (1 << c.Y) - 1 + c.X, true
 }
 
 // MustNode is Node for coordinates known to exist.
 func (t *LayeredTree) MustNode(c Coord) int {
-	v, ok := t.index[c]
+	v, ok := t.Node(c)
 	if !ok {
 		panic(fmt.Sprintf("tree: no node at %+v", c))
 	}
@@ -181,15 +236,26 @@ func (t *LayeredTree) BorderNodes(s Slice) ([]int, error) {
 // Pyramid is a layered quadtree over a 2^h x 2^h base grid: level z holds a
 // 2^(h-z) x 2^(h-z) grid, and each node (x, y, z), z < h, connects to
 // (floor(x/2), floor(y/2), z+1). The base level z=0 is the grid itself.
+//
+// Node numbering is level order, base level first, each level in row-major
+// (y, x) order, so coordinate lookups are O(1) arithmetic over the
+// precomputed per-level offsets (a geometric series: level z starts at
+// (4^(h+1) - 4^(h-z+1)) / 3).
 type Pyramid struct {
 	H int
 	G *graph.Graph
 	// Coords3 maps node -> (x, y, z).
 	Coords3 [][3]int
-	index   map[[3]int]int
+	// levelOffset[z] is the node id of the first node of level z; the extra
+	// final entry is the total node count, so level z spans
+	// levelOffset[z]..levelOffset[z+1].
+	levelOffset []int
 }
 
-// NewPyramid builds the pyramid of height h (base 2^h x 2^h).
+// NewPyramid builds the pyramid of height h (base 2^h x 2^h). Construction
+// emits every edge from computed node ids directly — no coordinate map is
+// built, which is what makes the height-10 (n≈1.4×10^6) pyramid construct
+// at graph-freeze speed instead of map-population speed.
 func NewPyramid(h int) *Pyramid {
 	if h < 0 {
 		panic("tree: negative pyramid height")
@@ -197,45 +263,125 @@ func NewPyramid(h int) *Pyramid {
 	if h > 12 {
 		panic(fmt.Sprintf("tree: pyramid height %d too large", h))
 	}
-	total := 0
+	levelOffset := make([]int, h+2)
 	for z := 0; z <= h; z++ {
 		side := 1 << (h - z)
-		total += side * side
+		levelOffset[z+1] = levelOffset[z] + side*side
 	}
-	b := graph.NewBuilderHint(total, 3*total)
+	total := levelOffset[h+1]
 	coords := make([][3]int, total)
-	index := make(map[[3]int]int, total)
-	v := 0
+	offsets := make([]int32, total+1)
+	sum := int32(0)
 	for z := 0; z <= h; z++ {
 		side := 1 << (h - z)
+		v := levelOffset[z]
 		for y := 0; y < side; y++ {
 			for x := 0; x < side; x++ {
 				coords[v] = [3]int{x, y, z}
-				index[[3]int{x, y, z}] = v
+				d := int32(0)
+				if z > 0 {
+					d += 4 // quadtree children always exist below
+				}
+				if y > 0 {
+					d++
+				}
+				if x > 0 {
+					d++
+				}
+				if x+1 < side {
+					d++
+				}
+				if y+1 < side {
+					d++
+				}
+				if z < h {
+					d++ // quadtree parent
+				}
+				sum += d
+				offsets[v+1] = sum
 				v++
 			}
 		}
 	}
-	for v, c := range coords {
-		x, y, z := c[0], c[1], c[2]
-		side := 1 << (h - z)
-		if x+1 < side {
-			b.AddEdge(v, index[[3]int{x + 1, y, z}])
+	// Each row is emitted in ascending id order directly from the closed
+	// forms: the four quadtree children on the level below, then the
+	// same-level grid neighbours, then the quadtree parent above.
+	g := graph.BuildCSR(offsets, func(nbrs []int32) {
+		i := 0
+		for z := 0; z <= h; z++ {
+			side := 1 << (h - z)
+			off := levelOffset[z]
+			sideDown := side << 1
+			sideUp := side >> 1
+			for y := 0; y < side; y++ {
+				v := off + y*side
+				childRow := 0
+				if z > 0 {
+					childRow = levelOffset[z-1] + 2*y*sideDown
+				}
+				parentRow := 0
+				if z < h {
+					parentRow = levelOffset[z+1] + (y/2)*sideUp
+				}
+				for x := 0; x < side; x++ {
+					if z > 0 {
+						child := int32(childRow + 2*x)
+						nbrs[i] = child
+						nbrs[i+1] = child + 1
+						nbrs[i+2] = child + int32(sideDown)
+						nbrs[i+3] = child + int32(sideDown) + 1
+						i += 4
+					}
+					if y > 0 {
+						nbrs[i] = int32(v - side)
+						i++
+					}
+					if x > 0 {
+						nbrs[i] = int32(v - 1)
+						i++
+					}
+					if x+1 < side {
+						nbrs[i] = int32(v + 1)
+						i++
+					}
+					if y+1 < side {
+						nbrs[i] = int32(v + side)
+						i++
+					}
+					if z < h {
+						nbrs[i] = int32(parentRow + x/2)
+						i++
+					}
+					v++
+				}
+			}
 		}
-		if y+1 < side {
-			b.AddEdge(v, index[[3]int{x, y + 1, z}])
-		}
-		if z < h {
-			b.AddEdge(v, index[[3]int{x / 2, y / 2, z + 1}])
-		}
-	}
-	return &Pyramid{H: h, G: b.Build(), Coords3: coords, index: index}
+	})
+	return &Pyramid{H: h, G: g, Coords3: coords, levelOffset: levelOffset}
 }
 
-// Node returns the node at pyramid coordinate (x, y, z).
+// LevelOffset returns the node id of the first node of level z (0 <= z <=
+// h; the base grid is level 0). The offsets are the partial sums of the
+// geometric series 4^h + 4^(h-1) + ... precomputed at construction.
+func (p *Pyramid) LevelOffset(z int) int { return p.levelOffset[z] }
+
+// LevelSide returns the side length 2^(h-z) of the level-z grid. It does
+// not check that z is a level of this pyramid; combine with LevelOffset (or
+// use Node) for validated lookups.
+func (p *Pyramid) LevelSide(z int) int { return 1 << (p.H - z) }
+
+// Node returns the node at pyramid coordinate (x, y, z): O(1) arithmetic
+// (LevelOffset(z) + y*LevelSide(z) + x), no allocation, ok=false for
+// coordinates outside the pyramid.
 func (p *Pyramid) Node(x, y, z int) (int, bool) {
-	v, ok := p.index[[3]int{x, y, z}]
-	return v, ok
+	if z < 0 || z > p.H {
+		return 0, false
+	}
+	side := 1 << (p.H - z)
+	if x < 0 || x >= side || y < 0 || y >= side {
+		return 0, false
+	}
+	return p.levelOffset[z] + y*side + x, true
 }
 
 // BaseNode returns the base-grid node at (x, y, 0).
@@ -247,13 +393,10 @@ func (p *Pyramid) BaseNode(x, y int) int {
 	return v
 }
 
-// Apex returns the single top node.
+// Apex returns the single top node (the last node, by level-order
+// numbering).
 func (p *Pyramid) Apex() int {
-	v, ok := p.Node(0, 0, p.H)
-	if !ok {
-		panic("tree: pyramid missing apex")
-	}
-	return v
+	return p.levelOffset[p.H]
 }
 
 // N returns the number of nodes.
@@ -268,6 +411,10 @@ func (p *Pyramid) BaseSide() int { return 1 << p.H }
 // layered depth-k tree with correct (r, x, y) coordinate labels for the given
 // r (the global version of the local structure checks in the paper's proof
 // of P' ∈ LD*). It returns the depth on success.
+//
+// The check uses the arithmetic coordinate formulas throughout: claimed
+// coordinates are mapped to canonical level-order ids, bijectivity is a
+// single slice pass, and no per-call coordinate map is built.
 func VerifyLayeredTreeLabels(l *graph.Labeled, r int) (int, error) {
 	n := l.N()
 	if n == 0 {
@@ -291,28 +438,33 @@ func VerifyLayeredTreeLabels(l *graph.Labeled, r int) (int, error) {
 			maxY = c.Y
 		}
 	}
-	want := NewLayeredTree(maxY)
-	if n != want.N() {
-		return 0, fmt.Errorf("tree: %d nodes, want %d for depth %d", n, want.N(), maxY)
+	// Reject size mismatches before constructing the reference tree: a
+	// depth-maxY layered tree has exactly 2^(maxY+1)-1 nodes.
+	if wantN := (1 << (maxY + 1)) - 1; n != wantN {
+		return 0, fmt.Errorf("tree: %d nodes, want %d for depth %d", n, wantN, maxY)
 	}
-	// Coordinates must be a bijection, and edges must match exactly.
-	seen := make(map[Coord]int, n)
+	want := NewLayeredTree(maxY)
+	// Coordinates must be a bijection onto the canonical id range: owner maps
+	// each canonical id 2^y-1+x to the node claiming it. Counting makes a
+	// duplicate-free assignment of n coordinates onto n ids surjective.
+	owner := make([]int32, n)
+	for i := range owner {
+		owner[i] = -1
+	}
 	for v, c := range coords {
-		if _, dup := seen[c]; dup {
+		id := want.MustNode(c)
+		if owner[id] != -1 {
 			return 0, fmt.Errorf("tree: duplicate coordinate %+v", c)
 		}
-		seen[c] = v
+		owner[id] = int32(v)
 	}
+	// Edges must match the reference tree exactly.
 	for v, c := range coords {
 		wantV := want.MustNode(c)
 		for _, wu := range want.G.Neighbors(wantV) {
-			uc := want.Coords[wu]
-			u, ok := seen[uc]
-			if !ok {
-				return 0, fmt.Errorf("tree: missing coordinate %+v", uc)
-			}
-			if !l.G.HasEdge(v, u) {
-				return 0, fmt.Errorf("tree: missing edge %+v-%+v", c, uc)
+			u := owner[wu]
+			if !l.G.HasEdge(v, int(u)) {
+				return 0, fmt.Errorf("tree: missing edge %+v-%+v", c, want.Coords[wu])
 			}
 		}
 		if l.G.Degree(v) != want.G.Degree(wantV) {
@@ -325,29 +477,42 @@ func VerifyLayeredTreeLabels(l *graph.Labeled, r int) (int, error) {
 // VerifyPyramid checks globally that a graph is the pyramid of height h
 // given a claimed coordinate assignment (used by the Appendix-A checkability
 // experiments; the local variant is in package halting).
+//
+// Claimed coordinates are validated and mapped to canonical ids with the
+// arithmetic formulas — the per-call coordinate map the check used to build
+// is gone.
 func VerifyPyramid(g *graph.Graph, coords [][3]int, h int) error {
 	want := NewPyramid(h)
 	if g.N() != want.N() {
 		return fmt.Errorf("tree: %d nodes, want %d", g.N(), want.N())
 	}
-	index := make(map[[3]int]int, len(coords))
-	for v, c := range coords {
-		if _, dup := index[c]; dup {
-			return fmt.Errorf("tree: duplicate pyramid coordinate %v", c)
-		}
-		if _, ok := want.index[c]; !ok {
-			return fmt.Errorf("tree: invalid pyramid coordinate %v", c)
-		}
-		index[c] = v
+	if len(coords) != want.N() {
+		return fmt.Errorf("tree: %d coordinates, want %d", len(coords), want.N())
+	}
+	// owner maps each canonical id to the node claiming its coordinate; the
+	// counting argument of VerifyLayeredTreeLabels applies unchanged.
+	owner := make([]int32, want.N())
+	for i := range owner {
+		owner[i] = -1
 	}
 	for v, c := range coords {
-		wantV := want.index[c]
+		id, ok := want.Node(c[0], c[1], c[2])
+		if !ok {
+			return fmt.Errorf("tree: invalid pyramid coordinate %v", c)
+		}
+		if owner[id] != -1 {
+			return fmt.Errorf("tree: duplicate pyramid coordinate %v", c)
+		}
+		owner[id] = int32(v)
+	}
+	for v, c := range coords {
+		wantV, _ := want.Node(c[0], c[1], c[2])
 		if g.Degree(v) != want.G.Degree(wantV) {
 			return fmt.Errorf("tree: degree mismatch at %v", c)
 		}
 		for _, wu := range want.G.Neighbors(wantV) {
-			u := index[want.Coords3[wu]]
-			if !g.HasEdge(v, u) {
+			u := owner[wu]
+			if !g.HasEdge(v, int(u)) {
 				return fmt.Errorf("tree: missing edge %v-%v", c, want.Coords3[wu])
 			}
 		}

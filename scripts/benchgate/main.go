@@ -17,6 +17,12 @@
 //	    -reference BenchmarkDedup/expensive/no-dedup -max-ratio 1.2
 //
 // With -reference omitted the gate compares raw ns/op (same-machine use).
+//
+// The gate can also enforce allocation contracts from -benchmem output:
+// -max-allocs N fails when the benchmark's recorded allocs/op exceed N in
+// the -current artifact (no baseline needed; pass -max-allocs alone to gate
+// a 0 allocs/op steady-state claim). Ratio and alloc gates compose: when
+// both -baseline and -max-allocs are given, both must pass.
 package main
 
 import (
@@ -30,14 +36,24 @@ import (
 	"strings"
 )
 
-var benchLine = regexp.MustCompile(`(Benchmark[^\s]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var (
+	benchLine = regexp.MustCompile(`(Benchmark[^\s]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	allocLine = regexp.MustCompile(`(Benchmark[^\s]+)(?:-\d+)?\s+\d+\s+[0-9.]+ ns/op.*?([0-9]+) allocs/op`)
+)
 
-// parseArtifact extracts min ns/op per benchmark name from a go test -json
-// stream or plain benchmark text.
-func parseArtifact(path string) (map[string]float64, error) {
+// artifact holds the per-benchmark minima parsed from one recorded run:
+// ns/op always, allocs/op when the run used -benchmem.
+type artifact struct {
+	ns     map[string]float64
+	allocs map[string]float64
+}
+
+// parseArtifact extracts min ns/op (and min allocs/op, when present) per
+// benchmark name from a go test -json stream or plain benchmark text.
+func parseArtifact(path string) (artifact, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return artifact{}, err
 	}
 	defer f.Close()
 	var text strings.Builder
@@ -54,37 +70,42 @@ func parseArtifact(path string) (map[string]float64, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return artifact{}, err
 	}
-	out := make(map[string]float64)
-	for _, m := range benchLine.FindAllStringSubmatch(text.String(), -1) {
-		name := strings.TrimSuffix(m[1], "-")
-		// Strip the -GOMAXPROCS suffix go test appends to parallel benchmarks.
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+	a := artifact{ns: make(map[string]float64), allocs: make(map[string]float64)}
+	collect := func(re *regexp.Regexp, into map[string]float64) {
+		for _, m := range re.FindAllStringSubmatch(text.String(), -1) {
+			name := strings.TrimSuffix(m[1], "-")
+			// Strip the -GOMAXPROCS suffix go test appends to parallel
+			// benchmarks.
+			if i := strings.LastIndex(name, "-"); i > 0 {
+				if _, err := strconv.Atoi(name[i+1:]); err == nil {
+					name = name[:i]
+				}
+			}
+			val, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			if prev, ok := into[name]; !ok || val < prev {
+				into[name] = val
 			}
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
-		if prev, ok := out[name]; !ok || ns < prev {
-			out[name] = ns
-		}
 	}
-	return out, nil
+	collect(benchLine, a.ns)
+	collect(allocLine, a.allocs)
+	return a, nil
 }
 
-func metric(results map[string]float64, bench, reference, path string) (float64, error) {
-	ns, ok := results[bench]
+func metric(results artifact, bench, reference, path string) (float64, error) {
+	ns, ok := results.ns[bench]
 	if !ok {
 		return 0, fmt.Errorf("benchmark %s not found in %s", bench, path)
 	}
 	if reference == "" {
 		return ns, nil
 	}
-	ref, ok := results[reference]
+	ref, ok := results.ns[reference]
 	if !ok {
 		return 0, fmt.Errorf("reference %s not found in %s", reference, path)
 	}
@@ -92,19 +113,19 @@ func metric(results map[string]float64, bench, reference, path string) (float64,
 }
 
 func main() {
-	baseline := flag.String("baseline", "", "baseline artifact (go test -json or bench text)")
+	baseline := flag.String("baseline", "", "baseline artifact (go test -json or bench text); optional with -max-allocs")
 	current := flag.String("current", "", "current artifact")
 	bench := flag.String("benchmark", "", "benchmark name to gate")
 	reference := flag.String("reference", "", "same-file reference benchmark for machine-independent normalisation")
 	maxRatio := flag.Float64("max-ratio", 1.2, "maximum allowed current/baseline metric ratio")
+	maxAllocs := flag.Float64("max-allocs", -1, "maximum allowed allocs/op in the current artifact (-benchmem runs; negative disables)")
 	flag.Parse()
-	if *baseline == "" || *current == "" || *bench == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -baseline, -current and -benchmark are required")
+	if *current == "" || *bench == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current and -benchmark are required")
 		os.Exit(2)
 	}
-	base, err := parseArtifact(*baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
+	if *baseline == "" && *maxAllocs < 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to gate — provide -baseline and/or -max-allocs")
 		os.Exit(2)
 	}
 	cur, err := parseArtifact(*current)
@@ -112,27 +133,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	baseMetric, err := metric(base, *bench, *reference, *baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+	if *maxAllocs >= 0 {
+		allocs, ok := cur.allocs[*bench]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: no allocs/op for %s in %s (run with -benchmem)\n", *bench, *current)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: %s allocs/op %.0f (max %.0f)\n", *bench, allocs, *maxAllocs)
+		if allocs > *maxAllocs {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s allocates %.0f/op beyond the %.0f allowed\n",
+				*bench, allocs, *maxAllocs)
+			os.Exit(1)
+		}
 	}
-	curMetric, err := metric(cur, *bench, *reference, *current)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
-	ratio := curMetric / baseMetric
-	unit := "ns/op"
-	if *reference != "" {
-		unit = "x reference"
-	}
-	fmt.Printf("benchgate: %s baseline %.4g %s, current %.4g %s, ratio %.3f (max %.2f)\n",
-		*bench, baseMetric, unit, curMetric, unit, ratio, *maxRatio)
-	if ratio > *maxRatio {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s regressed %.1f%% beyond the %.0f%% tolerance\n",
-			*bench, (ratio-1)*100, (*maxRatio-1)*100)
-		os.Exit(1)
+	if *baseline != "" {
+		base, err := parseArtifact(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		baseMetric, err := metric(base, *bench, *reference, *baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		curMetric, err := metric(cur, *bench, *reference, *current)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		ratio := curMetric / baseMetric
+		unit := "ns/op"
+		if *reference != "" {
+			unit = "x reference"
+		}
+		fmt.Printf("benchgate: %s baseline %.4g %s, current %.4g %s, ratio %.3f (max %.2f)\n",
+			*bench, baseMetric, unit, curMetric, unit, ratio, *maxRatio)
+		if ratio > *maxRatio {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s regressed %.1f%% beyond the %.0f%% tolerance\n",
+				*bench, (ratio-1)*100, (*maxRatio-1)*100)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("benchgate: OK")
 }

@@ -1,0 +1,123 @@
+// Command doccheck enforces the godoc contract on the packages whose APIs
+// carry allocation-behaviour promises: every exported symbol (function,
+// method on an exported type, type, constant, variable) must have a doc
+// comment. It is a deliberately small, dependency-free subset of a
+// revive-style exported-comment check, run in CI after go vet.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck ./internal/graph ./internal/tree ./internal/engine
+//
+// Exit status 1 lists every undocumented exported symbol; 0 means clean.
+// Test files are excluded — test helpers are not API.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		findings, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		bad += len(findings)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbols\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded) and returns one
+// finding line per undocumented exported symbol.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					name := d.Name.Name
+					if d.Recv != nil && len(d.Recv.List) == 1 {
+						recv := receiverName(d.Recv.List[0].Type)
+						if recv != "" && !ast.IsExported(recv) {
+							continue // method on an unexported type
+						}
+						name = recv + "." + name
+					}
+					report(d.Pos(), "function", name)
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+						continue
+					}
+					groupDoc := d.Doc != nil && len(d.Specs) > 1
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							// A doc comment on the grouped decl covers its
+							// members; a lone spec needs one on either.
+							if s.Doc != nil || groupDoc || (d.Doc != nil && len(d.Specs) == 1) {
+								continue
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									report(name.Pos(), d.Tok.String(), name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// receiverName extracts the type name from a method receiver expression.
+func receiverName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return receiverName(e.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(e.X)
+	case *ast.IndexListExpr:
+		return receiverName(e.X)
+	}
+	return ""
+}
