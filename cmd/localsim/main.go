@@ -9,13 +9,16 @@
 //	localsim -graph star -n 6 -decider degree2 -backend mp
 //	localsim -graph cycle -n 500 -decider degree2 -runs 5 -cache
 //	localsim -graph pyramid -n 10 -decider triangle-free -backend sharded -dedup -summary
+//	localsim -graph cycle -n 64 -decider coin -trials 500 -confidence 0.99
+//	localsim -graph cycle -n 64 -decider coin -trials 5000 -threshold 0.5
 //
 // Graphs: cycle, path, star, grid (rows x cols ~ n x 4), tree (depth n),
 // pyramid (the Appendix-A layered quadtree of height n: n=10 is the
 // 1024x1024 base, ~1.4 million nodes — the engine-scale sweep workload the
 // arithmetic coordinate indexing unlocked).
 // Deciders: 3col (labels random colours), mis (labels random bits),
-// degree2, triangle-free.
+// degree2, triangle-free, coin (randomized: each node accepts unless its
+// 1-in-64 coin draw comes up zero — use with -trials).
 // Backends: sequential (default), sharded (worker pool), mp (goroutine
 // message passing). -dedup decides each distinct canonical view once.
 // -runs repeats the evaluation; with -cache the runs share one cross-run
@@ -23,11 +26,22 @@
 // decided earlier — the per-run stats lines show the hits. -summary
 // suppresses the per-node verdict lines, which at pyramid scale would be
 // millions of lines of output.
+//
+// -trials N runs a randomized decider through the engine's Monte Carlo
+// subsystem (engine.EvalTrials): N independent trials with deterministic
+// per-(trial, node) coin streams, per-trial early exit, and a Wilson
+// confidence interval on the acceptance estimate at the -confidence level.
+// -threshold T additionally enables adaptive stopping: the sweep halts as
+// soon as the interval separates from T. The trial pool follows -backend
+// (sequential: one worker; sharded: GOMAXPROCS workers) — the committed
+// statistics are identical either way, by construction.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 
 	"repro/internal/engine"
@@ -48,14 +62,17 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("localsim", flag.ContinueOnError)
 	graphKind := fs.String("graph", "cycle", "cycle | path | star | grid | tree | pyramid")
 	n := fs.Int("n", 8, "size parameter")
-	deciderName := fs.String("decider", "3col", "3col | mis | degree2 | triangle-free")
-	seed := fs.Int64("seed", 1, "label seed")
+	deciderName := fs.String("decider", "3col", "3col | mis | degree2 | triangle-free | coin")
+	seed := fs.Int64("seed", 1, "label and coin seed")
 	backend := fs.String("backend", "sequential", "sequential | sharded | mp")
 	dedup := fs.Bool("dedup", false, "decide each distinct canonical view once")
 	useMP := fs.Bool("mp", false, "shorthand for -backend mp")
 	runs := fs.Int("runs", 1, "repeat the evaluation this many times")
 	useCache := fs.Bool("cache", false, "share a cross-run verdict cache between runs (implies -dedup)")
 	summary := fs.Bool("summary", false, "suppress per-node verdict lines (use for large instances)")
+	trials := fs.Int("trials", 0, "run a Monte Carlo sweep of this many trials (randomized deciders only)")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for the trial sweep's Wilson interval")
+	threshold := fs.Float64("threshold", math.NaN(), "acceptance threshold enabling adaptive stopping of the trial sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,9 +90,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	l, alg, err := buildDecider(*deciderName, g, *seed)
+	l, alg, randAlg, err := buildDecider(*deciderName, g, *seed)
 	if err != nil {
 		return err
+	}
+	if *trials > 0 {
+		return runTrials(l, randAlg, *deciderName, *graphKind, *backend, *trials, *seed, *confidence, *threshold)
+	}
+	if randAlg != nil {
+		return runRandomizedOnce(l, randAlg, *graphKind, *backend, *seed, *summary)
 	}
 	sched, err := buildScheduler(*backend)
 	if err != nil {
@@ -129,6 +152,76 @@ func run(args []string) error {
 	return nil
 }
 
+// runTrials drives the Monte Carlo subsystem: -trials with a randomized
+// decider.
+func runTrials(l *graph.Labeled, alg local.RandomizedAlgorithm, deciderName, graphKind, backend string, trials int, seed int64, confidence, threshold float64) error {
+	if alg == nil {
+		return fmt.Errorf("decider %q is deterministic; -trials needs a randomized decider (coin)", deciderName)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return fmt.Errorf("-confidence must be in (0, 1), got %v", confidence)
+	}
+	opts := engine.TrialOptions{Trials: trials, Seed: seed, Confidence: confidence}
+	switch backend {
+	case "sequential":
+		opts.Workers = 1
+	case "sharded":
+		opts.Workers = 0 // GOMAXPROCS
+	default:
+		return fmt.Errorf("-trials supports -backend sequential or sharded, not %q", backend)
+	}
+	if !math.IsNaN(threshold) {
+		if threshold < 0 || threshold > 1 {
+			return fmt.Errorf("-threshold must be in [0, 1], got %v", threshold)
+		}
+		opts.AdaptiveStop = true
+		opts.Threshold = threshold
+	}
+	stats := local.AcceptanceTrials(alg, l, opts)
+	fmt.Printf("graph=%s n=%d decider=%s backend=%s\n", graphKind, l.N(), alg.Name(), backend)
+	fmt.Printf("trials: committed=%d/%d accepted=%d estimate=%.4f CI%.0f=[%.4f, %.4f]\n",
+		stats.Trials, trials, stats.Accepted, stats.Estimate,
+		stats.Confidence*100, stats.CI.Low, stats.CI.High)
+	if opts.AdaptiveStop {
+		if stats.Stopped {
+			fmt.Printf("adaptive stop: interval separated from threshold %.4f after %d trials\n",
+				threshold, stats.Trials)
+		} else {
+			fmt.Printf("adaptive stop: interval never separated from threshold %.4f\n", threshold)
+		}
+	}
+	// Evaluated counts decisions from discarded trials too, so it is not
+	// comparable against committed×nodes — report it on its own.
+	fmt.Printf("engine: workers=%d evaluated=%d randomized decisions (per-trial early exit)\n",
+		stats.Workers, stats.Evaluated)
+	return nil
+}
+
+// runRandomizedOnce evaluates a randomized decider for a single trial
+// through the ordinary engine path (per-node streams from -seed).
+func runRandomizedOnce(l *graph.Labeled, alg local.RandomizedAlgorithm, graphKind, backend string, seed int64, summary bool) error {
+	sched, err := buildScheduler(backend)
+	if err != nil {
+		return err
+	}
+	out := engine.EvalOblivious(local.EngineRandomizedDecider(alg), l,
+		engine.Options{Scheduler: sched, Seed: seed})
+	fmt.Printf("graph=%s n=%d decider=%s backend=%s\n", graphKind, l.N(), alg.Name(), out.Stats.Scheduler)
+	if !summary {
+		for v := 0; v < l.N(); v++ {
+			fmt.Printf("  node %3d  label=%-8q  verdict=%s\n", v, l.Labels[v], out.Verdicts[v])
+		}
+	}
+	if out.Accepted {
+		fmt.Println("globally ACCEPTED (all nodes yes)")
+	} else {
+		fmt.Println("globally REJECTED (some node said no)")
+	}
+	fmt.Printf("engine: workers=%d evaluated=%d (single trial; use -trials for a sweep)\n",
+		out.Stats.Workers, out.Stats.Evaluated)
+	return nil
+}
+
 func buildScheduler(name string) (engine.Scheduler, error) {
 	switch name {
 	case "sequential":
@@ -164,19 +257,27 @@ func buildGraph(kind string, n int) (*graph.Graph, error) {
 	}
 }
 
-func buildDecider(name string, g *graph.Graph, seed int64) (*graph.Labeled, local.ObliviousAlgorithm, error) {
+// buildDecider resolves a decider name: deterministic deciders return an
+// ObliviousAlgorithm, randomized ones a RandomizedAlgorithm (exactly one is
+// non-nil).
+func buildDecider(name string, g *graph.Graph, seed int64) (*graph.Labeled, local.ObliviousAlgorithm, local.RandomizedAlgorithm, error) {
 	switch name {
 	case "3col":
 		l := graph.RandomLabels(g, []graph.Label{"0", "1", "2"}, seed)
-		return l, props.ThreeColoringVerifier(), nil
+		return l, props.ThreeColoringVerifier(), nil, nil
 	case "mis":
 		l := graph.RandomLabels(g, []graph.Label{"0", "1"}, seed)
-		return l, props.MISVerifier(), nil
+		return l, props.MISVerifier(), nil, nil
 	case "degree2":
-		return graph.UniformlyLabeled(g, ""), props.BoundedDegreeVerifier(2), nil
+		return graph.UniformlyLabeled(g, ""), props.BoundedDegreeVerifier(2), nil, nil
 	case "triangle-free":
-		return graph.UniformlyLabeled(g, ""), props.TriangleFreeVerifier(), nil
+		return graph.UniformlyLabeled(g, ""), props.TriangleFreeVerifier(), nil, nil
+	case "coin":
+		alg := local.RandomizedFunc("coin(1/64)", 0, func(_ *graph.View, rng *rand.Rand) local.Verdict {
+			return local.Verdict(rng.Intn(64) != 0)
+		})
+		return graph.UniformlyLabeled(g, ""), nil, alg, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown decider %q", name)
+		return nil, nil, nil, fmt.Errorf("unknown decider %q", name)
 	}
 }

@@ -14,6 +14,10 @@ func TestLocalsimCombos(t *testing.T) {
 		{"-graph", "grid", "-n", "8", "-decider", "triangle-free", "-backend", "sharded", "-runs", "2", "-cache"},
 		{"-graph", "pyramid", "-n", "2", "-decider", "triangle-free"},
 		{"-graph", "pyramid", "-n", "4", "-decider", "degree2", "-backend", "sharded", "-dedup", "-summary"},
+		{"-graph", "cycle", "-n", "16", "-decider", "coin", "-summary"},
+		{"-graph", "cycle", "-n", "16", "-decider", "coin", "-trials", "80"},
+		{"-graph", "cycle", "-n", "16", "-decider", "coin", "-trials", "200", "-confidence", "0.99", "-backend", "sharded"},
+		{"-graph", "cycle", "-n", "16", "-decider", "coin", "-trials", "2000", "-threshold", "0.5"},
 	}
 	for _, args := range combos {
 		if err := run(args); err != nil {
@@ -34,5 +38,17 @@ func TestLocalsimErrors(t *testing.T) {
 	}
 	if err := run([]string{"-graph", "pyramid", "-n", "13"}); err == nil {
 		t.Error("out-of-range pyramid height accepted")
+	}
+	if err := run([]string{"-decider", "3col", "-trials", "10"}); err == nil {
+		t.Error("-trials with a deterministic decider accepted")
+	}
+	if err := run([]string{"-decider", "coin", "-trials", "10", "-backend", "mp"}); err == nil {
+		t.Error("-trials with the message-passing backend accepted")
+	}
+	if err := run([]string{"-decider", "coin", "-trials", "10", "-threshold", "1.5"}); err == nil {
+		t.Error("out-of-range -threshold accepted")
+	}
+	if err := run([]string{"-decider", "coin", "-trials", "10", "-confidence", "1.5"}); err == nil {
+		t.Error("out-of-range -confidence accepted")
 	}
 }

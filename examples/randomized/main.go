@@ -3,6 +3,10 @@
 // and simulates M for 4^l steps; some node almost surely draws a budget past
 // M's runtime and catches a bad output.
 //
+// The sweeps run through engine.EvalTrials — the structure verifier runs
+// once as the deterministic prefix, then trials redraw only the coin budgets
+// — and every estimate comes with its Wilson 95% confidence interval.
+//
 //	go run ./examples/randomized
 package main
 
@@ -10,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/halting"
 	"repro/internal/turing"
 )
@@ -21,24 +26,26 @@ func main() {
 	yes := halting.Params{Machine: turing.Counter(3, '0'), R: 1, MaxSteps: 1000, FragmentLimit: 15}
 	asmYes, err := yes.BuildG()
 	must(err)
-	acc := 1 - yes.EstimateRejection(asmYes, 100, 1)
-	fmt.Printf("yes-instance G(%s): acceptance rate %.3f (want 1.000)\n",
-		yes.Machine.Name, acc)
+	stats := yes.RejectionTrials(asmYes, engine.TrialOptions{Trials: 100, Seed: 1})
+	fmt.Printf("yes-instance G(%s): acceptance rate %.3f, CI95 [%.3f, %.3f] (want 1.000)\n",
+		yes.Machine.Name, stats.Estimate, stats.CI.Low, stats.CI.High)
 
 	// No side: M outputs 1 with runtime s; rejection needs some node to draw
 	// a budget >= s.
 	fmt.Println("\nno-instances (machine outputs 1):")
-	fmt.Printf("%-14s %8s %8s %12s %12s\n", "machine", "runtime", "n(G)", "rejectRate", "paperBound")
+	fmt.Printf("%-14s %8s %8s %12s %18s %12s\n",
+		"machine", "runtime", "n(G)", "rejectRate", "rejectCI95", "paperBound")
 	for _, k := range []int{3, 7, 15} {
 		p := halting.Params{Machine: turing.Counter(k, '1'), R: 1, MaxSteps: 1000, FragmentLimit: 15}
 		asm, err := p.BuildG()
 		must(err)
-		reject := p.EstimateRejection(asm, 100, 7)
+		stats := p.RejectionTrials(asm, engine.TrialOptions{Trials: 100, Seed: 7})
+		reject := 1 - stats.Estimate
 		s := float64(k + 1)
 		n := float64(asm.Labeled.N())
 		bound := 1 - math.Pow(1-1/math.Sqrt(s), n)
-		fmt.Printf("%-14s %8d %8d %12.3f %12.3f\n",
-			p.Machine.Name, k+1, asm.Labeled.N(), reject, bound)
+		fmt.Printf("%-14s %8d %8d %12.3f    [%.3f, %.3f] %12.3f\n",
+			p.Machine.Name, k+1, asm.Labeled.N(), reject, 1-stats.CI.High, 1-stats.CI.Low, bound)
 	}
 
 	fmt.Println("\nrandomness thus buys back what obliviousness lost: the decider needs")

@@ -232,12 +232,14 @@ func (j *job) extractor() *graph.ViewExtractor {
 }
 
 // decideView invokes the decider on one view, deriving the node's coin
-// stream when the decider is randomized. The derivation matches the
-// historical local.RunRandomized exactly, so seeds keep their meaning.
+// stream when the decider is randomized. Streams are splitmix64-derived from
+// (Options.Seed, node) — see streamSeed — so scheduler choice never changes
+// coins and the trial engine can replay any single trial (TrialSeed). The
+// historical derivation (seed XOR node times a truncated odd constant) left
+// the low bit of every node's source seed identical; it is gone.
 func (j *job) decideView(view *graph.View, v int) Verdict {
 	if j.dec.DecideRand != nil {
-		rng := rand.New(rand.NewSource(j.opts.Seed ^ (int64(v+1) * 0x9e3779b97f4a7c)))
-		return j.dec.DecideRand(view, rng)
+		return j.dec.DecideRand(view, newCoins(streamSeed(j.opts.Seed, v)))
 	}
 	return j.dec.Decide(view)
 }

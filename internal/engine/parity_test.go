@@ -28,8 +28,7 @@ func legacyEval(dec Decider, l *graph.Labeled, in *graph.Instance, seed int64) [
 			view = graph.ObliviousViewOf(l, v, dec.Horizon)
 		}
 		if dec.DecideRand != nil {
-			rng := rand.New(rand.NewSource(seed ^ (int64(v+1) * 0x9e3779b97f4a7c)))
-			verdicts[v] = dec.DecideRand(view, rng)
+			verdicts[v] = dec.DecideRand(view, newCoins(streamSeed(seed, v)))
 		} else {
 			verdicts[v] = dec.Decide(view)
 		}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// The trial parity suite pins EvalTrials against the historical sequential
+// trial loop — one full engine evaluation per trial, early-exiting — which
+// survives here as the reference implementation. The contract: at a fixed
+// sweep seed, trial t of EvalTrials draws exactly the coins of a single
+// evaluation with Options.Seed = TrialSeed(seed, t), so the per-trial
+// verdict sequences coincide, for every trial scheduler (worker count) and
+// every single-evaluation scheduler alike.
+
+// legacyTrialLoop is the seed-era shape of EstimateAcceptance: one
+// early-exiting engine evaluation per trial.
+func legacyTrialLoop(dec Decider, l *graph.Labeled, trials int, seed int64, sched Scheduler) []Verdict {
+	verdicts := make([]Verdict, trials)
+	for t := 0; t < trials; t++ {
+		out := EvalOblivious(dec, l, Options{Scheduler: sched, EarlyExit: true, Seed: TrialSeed(seed, t)})
+		verdicts[t] = Verdict(out.Accepted)
+	}
+	return verdicts
+}
+
+// trialParityDecider couples coins to structure so both halves matter: a
+// node accepts iff its degree is at most 3 and its coin draw in 8 is
+// nonzero.
+var trialParityDecider = TrialDecider{
+	Name:    "deg3+coin8",
+	Horizon: 1,
+	Prefix: func(view *graph.View) Verdict {
+		return Verdict(view.G.Degree(view.Root) <= 3)
+	},
+	DecideRand: func(view *graph.View, rng *rand.Rand) Verdict {
+		return Verdict(rng.Intn(8) != 0)
+	},
+}
+
+// combined is the unfactored reference decider: prefix ∧ random stage per
+// node, exactly what the trial engine's factoring must be equivalent to.
+func combinedDecider(td TrialDecider) Decider {
+	return Decider{Name: td.Name, Horizon: td.Horizon,
+		DecideRand: func(view *graph.View, rng *rand.Rand) Verdict {
+			if td.Prefix != nil && td.Prefix(view) == No {
+				return No
+			}
+			return td.DecideRand(view, rng)
+		}}
+}
+
+func TestTrialParityAgainstSequentialLoop(t *testing.T) {
+	schedulers := []Scheduler{Sequential, Sharded, MessagePassing}
+	property := func(seed int64) bool {
+		for _, l := range parityInstances(seed) {
+			const trials = 12
+			want := legacyTrialLoop(combinedDecider(trialParityDecider), l, trials, seed, Sequential)
+			// The reference loop itself must be scheduler-invariant (streams
+			// depend on (seed, node) only).
+			for _, sched := range schedulers[1:] {
+				got := legacyTrialLoop(combinedDecider(trialParityDecider), l, trials, seed, sched)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Logf("seed=%d sched=%s: reference loop diverges at trial %d", seed, sched.Name(), i)
+						return false
+					}
+				}
+			}
+			for _, workers := range []int{1, 4} {
+				stats := EvalTrials(trialParityDecider, l, TrialOptions{Trials: trials, Seed: seed, Workers: workers})
+				if len(stats.Verdicts) != trials {
+					t.Logf("seed=%d workers=%d: %d verdicts, want %d", seed, workers, len(stats.Verdicts), trials)
+					return false
+				}
+				for i := range want {
+					if stats.Verdicts[i] != want[i] {
+						t.Logf("seed=%d workers=%d: trial %d verdict %s, want %s",
+							seed, workers, i, stats.Verdicts[i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent trials share one deterministic-prefix evaluation: the prefix
+// must run exactly once per sweep regardless of worker count, and the sweep
+// must be race-free while all workers consume its result (this test is the
+// -race canary for the sharing).
+func TestTrialsSharePrefixResult(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.Cycle(64), "u")
+	var prefixCalls, randCalls atomic.Int64
+	dec := TrialDecider{
+		Name:        "counted",
+		Horizon:     1,
+		PrefixDedup: true,
+		Prefix: func(view *graph.View) Verdict {
+			prefixCalls.Add(1)
+			return Yes
+		},
+		DecideRand: func(view *graph.View, rng *rand.Rand) Verdict {
+			randCalls.Add(1)
+			return Verdict(rng.Intn(64) != 0)
+		},
+	}
+	stats := EvalTrials(dec, l, TrialOptions{Trials: 200, Seed: 3, Workers: 8})
+	// Dedup collapses the uniform cycle's views, so the prefix decides far
+	// fewer views than nodes — and in all cases at most one evaluation's
+	// worth, not one per trial.
+	if calls := prefixCalls.Load(); calls == 0 || calls > int64(l.N()) {
+		t.Errorf("prefix ran %d times, want within one evaluation", calls)
+	}
+	if stats.PrefixStats.Nodes != l.N() || stats.PrefixRejected {
+		t.Errorf("prefix stats wrong: %+v", stats)
+	}
+	if randCalls.Load() < int64(stats.Trials) {
+		t.Errorf("random stage ran %d times for %d trials", randCalls.Load(), stats.Trials)
+	}
+}

@@ -250,6 +250,12 @@ func RunE8(cfg Config) (*Result, error) {
 // RunE10 reproduces Corollary 1: the randomised Id-oblivious decider's
 // rejection probability on no-instances versus the paper's bound
 // 1 - (1 - 1/sqrt(s))^n (the acceptance side is exact: p = 1).
+//
+// The pass criterion is interval-based: the sweep's Wilson confidence
+// interval on the rejection rate must not lie entirely below the paper
+// bound. The seed-era criterion (point estimate >= bound - 0.1) was
+// flaky-by-construction — a fixed margin on a fixed trial count neither
+// tracks the binomial noise floor nor tightens when trials grow.
 func RunE10(cfg Config) (*Result, error) {
 	trials := 200
 	ks := []int{3, 7, 15}
@@ -260,7 +266,7 @@ func RunE10(cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E10",
 		Title:  "Randomised decider: rejection probability vs bound",
-		Header: []string{"machine", "runtime", "n(G)", "rejectRate", "paperBound"},
+		Header: []string{"machine", "runtime", "n(G)", "trials", "rejectRate", "rejectCI95", "paperBound"},
 		OK:     true,
 	}
 	for _, k := range ks {
@@ -270,20 +276,29 @@ func RunE10(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		reject := p.EstimateRejection(asm, trials, cfg.Seed)
+		stats := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: cfg.Seed})
+		// The engine estimates acceptance; mirror the interval for rejection.
+		reject := 1 - stats.Estimate
+		rejectCI := engine.Interval{Low: 1 - stats.CI.High, High: 1 - stats.CI.Low}
 		s := float64(k + 1)
 		n := float64(asm.Labeled.N())
 		bound := 1 - math.Pow(1-1/math.Sqrt(s), n)
-		if reject < bound-0.1 { // empirical rate may not undershoot the bound materially
+		if rejectCI.High < bound { // the whole interval undershoots the bound
 			res.OK = false
 		}
 		res.Rows = append(res.Rows, []string{
-			m.Name, fmt.Sprint(k + 1), fmt.Sprint(asm.Labeled.N()),
-			fmtFloat(reject), fmtFloat(bound),
+			m.Name, fmt.Sprint(k + 1), fmt.Sprint(asm.Labeled.N()), fmt.Sprint(stats.Trials),
+			fmtFloat(reject), fmtInterval(rejectCI), fmtFloat(bound),
 		})
 	}
 	res.Notes = append(res.Notes,
 		"yes-instances are never rejected (p = 1): the decider only rejects on an observed non-0 halt",
-		"with many nodes and short runtimes the bound is ~1; longer runtimes would need budget draws n_v >= s")
+		"with many nodes and short runtimes the bound is ~1; longer runtimes would need budget draws n_v >= s",
+		"pass criterion: the Wilson 95% interval on the rejection rate must reach the paper bound")
 	return res, nil
+}
+
+// fmtInterval renders a confidence interval as [low, high].
+func fmtInterval(iv engine.Interval) string {
+	return fmt.Sprintf("[%s, %s]", fmtFloat(iv.Low), fmtFloat(iv.High))
 }

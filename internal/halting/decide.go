@@ -3,6 +3,8 @@ package halting
 import (
 	"fmt"
 	"math/rand"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -35,7 +37,30 @@ import (
 // experiment E7 exercise both layers against corrupted instances.
 func (p Params) StructureVerifier() local.ObliviousAlgorithm {
 	name := fmt.Sprintf("G-verifier(%s,r=%d)", p.Machine.Name, p.R)
-	return local.ObliviousFunc(name, 2, p.checkView)
+	gv := &gVerifier{p: p, prefix: p.GMLabel() + "|"}
+	return local.ObliviousFunc(name, 2, gv.checkView)
+}
+
+// gVerifier is the structure verifier's evaluation state: the construction
+// parameters plus the precomputed (M, r) label prefix. The per-node checks
+// parse one label per (node, neighbour) pair; rebuilding the prefix — a
+// Sprintf over the full machine encoding — on every parse used to dominate
+// the whole verification sweep.
+type gVerifier struct {
+	p      Params
+	prefix string
+}
+
+// errNoPrefix is the shared parse error for labels missing the (M, r)
+// component (allocated once; the verifier hits this on every non-cell node).
+var errNoPrefix = fmt.Errorf("halting: label lacks (M,r) prefix")
+
+// parseLabel is ParseNodeLabel against the cached prefix.
+func (gv *gVerifier) parseLabel(lab graph.Label) (turing.Cell, int, int, error) {
+	if len(lab) <= len(gv.prefix) || lab[:len(gv.prefix)] != gv.prefix {
+		return turing.Cell{}, 0, 0, errNoPrefix
+	}
+	return turing.ParseCellLabel(string(lab[len(gv.prefix):]))
 }
 
 // PivotDegreeThreshold distinguishes the pivot locally: ordinary table cells
@@ -56,8 +81,8 @@ func mod3diff(a, b int) int {
 // classify splits a node's neighbours into grid neighbours (by orientation
 // offset, bucketed by relative position) and pivots (by degree, which is
 // visible inside the view because the horizon exceeds 1).
-func (p Params) classify(view *graph.View, v int) (cell turing.Cell, rel map[[2]int][]int, pivots []int, err error) {
-	cell, x3, y3, err := p.ParseNodeLabel(view.Labels[v])
+func (gv *gVerifier) classify(view *graph.View, v int) (cell turing.Cell, rel map[[2]int][]int, pivots []int, err error) {
+	cell, x3, y3, err := gv.parseLabel(view.Labels[v])
 	if err != nil {
 		return cell, nil, nil, err
 	}
@@ -68,7 +93,7 @@ func (p Params) classify(view *graph.View, v int) (cell turing.Cell, rel map[[2]
 			pivots = append(pivots, u)
 			continue
 		}
-		_, ux3, uy3, uerr := p.ParseNodeLabel(view.Labels[u])
+		_, ux3, uy3, uerr := gv.parseLabel(view.Labels[u])
 		if uerr != nil {
 			return cell, nil, nil, uerr
 		}
@@ -84,15 +109,15 @@ func (p Params) classify(view *graph.View, v int) (cell turing.Cell, rel map[[2]
 }
 
 // checkView performs the per-node checks.
-func (p Params) checkView(view *graph.View) local.Verdict {
+func (gv *gVerifier) checkView(view *graph.View) local.Verdict {
 	root := view.Root
-	if _, _, _, err := p.ParseNodeLabel(view.Labels[root]); err != nil {
+	if _, _, _, err := gv.parseLabel(view.Labels[root]); err != nil {
 		return local.No
 	}
 	if view.G.Degree(root) >= PivotDegreeThreshold {
-		return p.checkPivot(view)
+		return gv.checkPivot(view)
 	}
-	cell, rel, pivots, err := p.classify(view, root)
+	cell, rel, pivots, err := gv.classify(view, root)
 	if err != nil {
 		return local.No
 	}
@@ -112,7 +137,7 @@ func (p Params) checkView(view *graph.View) local.Verdict {
 	if hasBelow {
 		left := turing.UnknownNeighbor()
 		if u, ok := one(rel, -1, 0); ok {
-			c, _, _, err := p.ParseNodeLabel(view.Labels[u])
+			c, _, _, err := gv.parseLabel(view.Labels[u])
 			if err != nil {
 				return local.No
 			}
@@ -120,17 +145,17 @@ func (p Params) checkView(view *graph.View) local.Verdict {
 		}
 		right := turing.UnknownNeighbor()
 		if u, ok := one(rel, 1, 0); ok {
-			c, _, _, err := p.ParseNodeLabel(view.Labels[u])
+			c, _, _, err := gv.parseLabel(view.Labels[u])
 			if err != nil {
 				return local.No
 			}
 			right = turing.KnownNeighbor(c)
 		}
-		belowCell, _, _, err := p.ParseNodeLabel(view.Labels[below])
+		belowCell, _, _, err := gv.parseLabel(view.Labels[below])
 		if err != nil {
 			return local.No
 		}
-		options := turing.NextCells(p.Machine, left, cell, right)
+		options := turing.NextCells(gv.p.Machine, left, cell, right)
 		found := false
 		for _, o := range options {
 			if o == belowCell {
@@ -157,7 +182,7 @@ func one(rel map[[2]int][]int, dx, dy int) (int, bool) {
 // reconstructed from its glued border cells via the window rules, must be a
 // member of C(M, r) in a legal gluing variant. This is where Lemma 2 (the
 // collection is computable) and the Border property meet.
-func (p Params) checkPivot(view *graph.View) local.Verdict {
+func (gv *gVerifier) checkPivot(view *graph.View) local.Verdict {
 	// Partition the pivot's non-grid neighbours into connected components of
 	// the view minus the pivot: each component within distance 3r is one
 	// glued fragment (plus possibly the pivot's own table).
@@ -167,7 +192,7 @@ func (p Params) checkPivot(view *graph.View) local.Verdict {
 	// end-to-end fragment-set equality against C(M, r) is checked globally
 	// by VerifyG (tests show the local checks reject the corruptions the
 	// paper cares about).
-	side := p.FragmentSide()
+	side := gv.p.FragmentSide()
 	maxCells := side * side
 	seen := make(map[int]struct{})
 	for _, u32 := range view.G.Neighbors(view.Root) {
@@ -175,14 +200,14 @@ func (p Params) checkPivot(view *graph.View) local.Verdict {
 		if _, done := seen[u]; done {
 			continue
 		}
-		if _, _, _, err := p.ParseNodeLabel(view.Labels[u]); err != nil {
+		if _, _, _, err := gv.parseLabel(view.Labels[u]); err != nil {
 			return local.No
 		}
 		// Flood the component of u avoiding the pivot.
 		comp := []int{u}
 		seen[u] = struct{}{}
 		frontier := []int{u}
-		for len(frontier) > 0 && len(comp) <= maxCells+p.WindowSide()*p.WindowSide() {
+		for len(frontier) > 0 && len(comp) <= maxCells+gv.p.WindowSide()*gv.p.WindowSide() {
 			var next []int
 			for _, w := range frontier {
 				for _, z32 := range view.G.Neighbors(w) {
@@ -201,7 +226,7 @@ func (p Params) checkPivot(view *graph.View) local.Verdict {
 			frontier = next
 		}
 		for _, w := range comp {
-			if _, _, _, err := p.ParseNodeLabel(view.Labels[w]); err != nil {
+			if _, _, _, err := gv.parseLabel(view.Labels[w]); err != nil {
 				return local.No
 			}
 		}
@@ -311,77 +336,115 @@ func (p Params) LDDecider() local.Algorithm {
 // output. Yes-instances are never rejected (p = 1); a no-instance G(M, r)
 // with runtime s is rejected whenever some node draws n_v >= s, which
 // happens with probability at least 1 - (1 - 1/sqrt(s))^n -> 1.
+//
+// The structure check runs on view.StripIDs(), exactly as LDDecider's stage
+// 1 does: the decider is Id-oblivious by construction even when a harness
+// evaluates it on an identifier-carrying instance (engine.Eval), where views
+// arrive with IDs attached. The per-node simulations are memoised by budget
+// (DrawBudget has at most 15 outcomes), so repeated evaluation — trial
+// sweeps above all — costs one table lookup per node.
 func (p Params) RandomizedDecider() local.RandomizedAlgorithm {
 	verifier := p.StructureVerifier()
+	memo := turing.NewRunMemo(p.Machine)
 	name := fmt.Sprintf("P-rand-decider(%s,r=%d)", p.Machine.Name, p.R)
 	return local.RandomizedFunc(name, verifier.Horizon(), func(view *graph.View, rng *rand.Rand) local.Verdict {
-		if verifier.DecideOblivious(view) == local.No {
+		if verifier.DecideOblivious(view.StripIDs()) == local.No {
 			return local.No
 		}
-		budget := DrawBudget(rng)
-		res, err := turing.Run(p.Machine, budget)
-		if err != nil {
-			return local.No
-		}
-		if res.Halted && res.Output != '0' {
-			return local.No
-		}
-		return local.Yes
+		return budgetVerdict(memo, DrawBudget(rng))
 	})
+}
+
+// budgetVerdict is the simulation half of the Corollary 1 coin stage:
+// simulate for the drawn budget (memoised), reject on an observed non-'0'
+// halt.
+func budgetVerdict(memo *turing.RunMemo, budget int) local.Verdict {
+	res, err := memo.Run(budget)
+	if err != nil {
+		return local.No
+	}
+	if res.Halted && res.Output != '0' {
+		return local.No
+	}
+	return local.Yes
+}
+
+// maxBudgetDraws caps the coin streak, keeping simulations affordable and
+// the budget distribution's support at 15 values.
+const maxBudgetDraws = 15
+
+// drawStreak tosses a fair coin until the first head and returns the streak
+// length l in [1, maxBudgetDraws]. One source draw per toss; the toss reads
+// the draw's low bit, which the splitmix64 streams avalanche.
+func drawStreak(rng *rand.Rand) int {
+	l := 1
+	for rng.Int63()&1 == 0 && l < maxBudgetDraws {
+		l++
+	}
+	return l
 }
 
 // DrawBudget tosses a fair coin until the first head (l tosses, l >= 1) and
 // returns 4^l capped to keep simulations affordable.
 func DrawBudget(rng *rand.Rand) int {
-	l := 1
-	for rng.Intn(2) == 0 && l < 15 {
-		l++
+	return 1 << (2 * drawStreak(rng))
+}
+
+// TrialDecider returns the Corollary 1 decider factored for the engine's
+// Monte Carlo subsystem: the coin-free structure verifier is the
+// deterministic prefix (evaluated once per sweep, deduplicated — the pivot's
+// huge view makes re-running it per trial quadratic in the collection size),
+// and the coin-dependent stage draws a budget and consults a memoised
+// simulation. The budget stage never reads the view, so trials skip view
+// extraction entirely.
+func (p Params) TrialDecider() engine.TrialDecider {
+	verifier := p.StructureVerifier()
+	memo := turing.NewRunMemo(p.Machine)
+	// Per-streak verdict table: the budget stage's verdict is a function of
+	// the streak length alone, so across trials×nodes draws the whole stage
+	// collapses to one atomic load (0 unknown, 1 yes, 2 no; filled through
+	// the simulation memo on first encounter).
+	var verdicts [maxBudgetDraws + 1]atomic.Int32
+	return engine.TrialDecider{
+		Name:    fmt.Sprintf("P-rand-decider(%s,r=%d)", p.Machine.Name, p.R),
+		Horizon: verifier.Horizon(),
+		// The structure checks are constant-time per node, far below the
+		// dedup cache key on these label-heavy views — PrefixDedup stays off.
+		Prefix: verifier.DecideOblivious,
+		DecideRand: func(_ *graph.View, rng *rand.Rand) local.Verdict {
+			l := drawStreak(rng)
+			switch verdicts[l].Load() {
+			case 1:
+				return local.Yes
+			case 2:
+				return local.No
+			}
+			v := budgetVerdict(memo, 1<<(2*l))
+			if v == local.Yes {
+				verdicts[l].Store(1)
+			} else {
+				verdicts[l].Store(2)
+			}
+			return v
+		},
+		RandIgnoresView: true,
 	}
-	budget := 1
-	for i := 0; i < l; i++ {
-		budget *= 4
-	}
-	return budget
+}
+
+// RejectionTrials runs the Corollary 1 decider over a Monte Carlo sweep and
+// returns the engine's trial statistics. Note the engine estimates
+// ACCEPTANCE probability; the rejection rate of Corollary 1's analysis is
+// 1 - Estimate, with the confidence interval mirrored accordingly.
+func (p Params) RejectionTrials(asm *Assembly, opts engine.TrialOptions) engine.TrialStats {
+	return engine.EvalTrials(p.TrialDecider(), asm.Labeled, opts)
 }
 
 // EstimateRejection estimates the probability that the Corollary 1 decider
-// rejects the given assembly, over `trials` independent coin sequences.
-//
-// It computes the same quantity as local.EstimateAcceptance with
-// RandomizedDecider but factors the deterministic stage out of the trial
-// loop: the structure checks do not depend on the coins, so they run once,
-// and each trial only redraws the per-node budgets and re-simulates (cheap —
-// the simulation stops at the halt). The pivot's huge view makes the naive
-// path quadratic in the collection size.
+// rejects the given assembly, over `trials` independent coin sequences —
+// the fixed-trial-count wrapper over RejectionTrials.
 func (p Params) EstimateRejection(asm *Assembly, trials int, seed int64) float64 {
-	if trials < 1 {
-		panic("halting: trials must be positive")
-	}
-	structure := engine.EvalOblivious(local.EngineObliviousDecider(p.StructureVerifier()), asm.Labeled,
-		engine.Options{Scheduler: engine.Sharded, EarlyExit: true, Dedup: true})
-	if !structure.Accepted {
-		return 1 // stage 1 already rejects deterministically
-	}
-	n := asm.Labeled.N()
-	rejected := 0
-	for trial := 0; trial < trials; trial++ {
-		rng := rand.New(rand.NewSource(seed + int64(trial)*2654435761))
-		trialRejected := false
-		for v := 0; v < n && !trialRejected; v++ {
-			res, err := turing.Run(p.Machine, DrawBudget(rng))
-			if err != nil {
-				trialRejected = true
-				break
-			}
-			if res.Halted && res.Output != '0' {
-				trialRejected = true
-			}
-		}
-		if trialRejected {
-			rejected++
-		}
-	}
-	return float64(rejected) / float64(trials)
+	engine.ValidateTrials(trials)
+	return 1 - p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed}).Estimate
 }
 
 // Separation algorithm ---------------------------------------------------------
@@ -491,18 +554,9 @@ func (c *HaltingPatternCandidate) Name() string { return "halting-pattern-scan" 
 func (c *HaltingPatternCandidate) DecideCode(code string) local.Verdict {
 	for _, out := range []turing.Symbol{'1', turing.Blank} {
 		needle := fmt.Sprintf("cell{s=%c;q=%d;", out, c.Params.Machine.Halt)
-		if containsSub(code, needle) {
+		if strings.Contains(code, needle) {
 			return local.No
 		}
 	}
 	return local.Yes
-}
-
-func containsSub(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
 }

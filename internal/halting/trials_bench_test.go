@@ -1,0 +1,119 @@
+package halting
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/local"
+	"repro/internal/turing"
+)
+
+// Trial-throughput benchmark on E10's instance family: the Corollary 1
+// decider's rejection sweep at 200 trials. The seqloop case replicates the
+// BENCH_4-era hand-rolled EstimateRejection (structure check once, then one
+// heavyweight rng per trial and a fresh turing.Run per (trial, node)); the
+// engine case is the trial subsystem (splitmix64 streams, budget-memoised
+// simulation, worker pool). CI gates engine ≤ 25% of seqloop (≥4×),
+// ratio-normalised within one artifact so runner speed cancels.
+
+// seqloopEstimateRejection is the BENCH_4-era sequential trial loop, kept
+// verbatim as the benchmark baseline.
+func seqloopEstimateRejection(p Params, asm *Assembly, trials int, seed int64) float64 {
+	structure := engine.EvalOblivious(local.EngineObliviousDecider(p.StructureVerifier()), asm.Labeled,
+		engine.Options{Scheduler: engine.Sharded, EarlyExit: true, Dedup: true})
+	if !structure.Accepted {
+		return 1
+	}
+	n := asm.Labeled.N()
+	rejected := 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(seed + int64(trial)*2654435761))
+		trialRejected := false
+		for v := 0; v < n && !trialRejected; v++ {
+			res, err := turing.Run(p.Machine, DrawBudget(rng))
+			if err != nil {
+				trialRejected = true
+				break
+			}
+			if res.Halted && res.Output != '0' {
+				trialRejected = true
+			}
+		}
+		if trialRejected {
+			rejected++
+		}
+	}
+	return float64(rejected) / float64(trials)
+}
+
+func e10Instance(b *testing.B, k int, output turing.Symbol) (Params, *Assembly) {
+	b.Helper()
+	p := Params{Machine: turing.Counter(k, output), R: 1, MaxSteps: 500, FragmentLimit: 10}
+	asm, err := p.BuildG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, asm
+}
+
+// BenchmarkTrialThroughput is the CI-gated trial-throughput measurement, on
+// the family's yes-side instance (machine outputs '0'): no trial ever
+// rejects, so every trial visits every node and the 200×n random stage is
+// the dominant work — exactly the regime the trial engine exists for. On the
+// no side (BenchmarkRejectionTrials below) both paths early-exit within a
+// few nodes per trial and converge to the shared prefix cost.
+func BenchmarkTrialThroughput(b *testing.B) {
+	const trials, seed = 200, 42
+	p, asm := e10Instance(b, 15, '0')
+	b.Run("seqloop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := seqloopEstimateRejection(p, asm, trials, seed); r != 0 {
+				b.Fatal("yes-instance rejected")
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if stats := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed}); stats.Estimate != 1 {
+				b.Fatal("yes-instance rejected")
+			}
+		}
+	})
+}
+
+func BenchmarkRejectionTrials(b *testing.B) {
+	const trials, seed = 200, 42
+	for _, k := range []int{7, 15} {
+		p, asm := e10Instance(b, k, '1')
+		b.Run(fmt.Sprintf("k=%d/seqloop", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := seqloopEstimateRejection(p, asm, trials, seed); r == 0 {
+					b.Fatal("no-instance never rejected")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/engine", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if stats := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed}); stats.Estimate == 1 {
+					b.Fatal("no-instance never rejected")
+				}
+			}
+		})
+	}
+}
+
+// The adaptive stopping rule on the same family: the sweep may halt as soon
+// as the Wilson interval separates from the threshold, so far fewer than the
+// budgeted trials run (recorded as the trials-run metric).
+func BenchmarkRejectionTrialsAdaptive(b *testing.B) {
+	p, asm := e10Instance(b, 7, '1')
+	var stats engine.TrialStats
+	for i := 0; i < b.N; i++ {
+		stats = p.RejectionTrials(asm, engine.TrialOptions{
+			Trials: 200, Seed: 42, AdaptiveStop: true, Threshold: 0.5,
+		})
+	}
+	b.ReportMetric(float64(stats.Trials), "trials-run")
+}

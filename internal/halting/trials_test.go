@@ -1,0 +1,96 @@
+package halting
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/turing"
+)
+
+// Regression for the ID-normalisation bug: RandomizedDecider's structure
+// stage must see exactly what LDDecider's stage 1 sees — the ID-stripped
+// view — so evaluating the (Id-oblivious by definition) randomized decider
+// on an identifier-carrying instance cannot diverge from the oblivious
+// evaluation. Before the fix, stage 1 received the raw view, IDs attached.
+func TestRandomizedDeciderObliviousUnderIDs(t *testing.T) {
+	for _, m := range []*turing.Machine{turing.HaltWith('0'), turing.HaltWith('1')} {
+		p := tinyParams(m, 10)
+		asm, err := p.BuildG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := local.EngineRandomizedDecider(p.RandomizedDecider())
+		seed := int64(11)
+		obl := engine.EvalOblivious(dec, asm.Labeled, engine.Options{Seed: seed})
+
+		// Two different identifier assignments; coins depend only on
+		// (seed, node), so any verdict flip is an ID leak.
+		n := asm.Labeled.N()
+		for _, offset := range []int{1, 1000} {
+			ids := make([]int, n)
+			for v := range ids {
+				ids[v] = offset + v
+			}
+			out := engine.Eval(dec, graph.NewInstance(asm.Labeled, ids), engine.Options{Seed: seed})
+			for v := range obl.Verdicts {
+				if out.Verdicts[v] != obl.Verdicts[v] {
+					t.Fatalf("machine %s, ids offset %d: node %d flips %s -> %s under identifiers",
+						m.Name, offset, v, obl.Verdicts[v], out.Verdicts[v])
+				}
+			}
+		}
+	}
+}
+
+// The factored trial decider must estimate the same probabilities as running
+// the full randomized decider trial by trial: prefix ∧ random stage equals
+// the unfactored conjunction on every (trial, node) stream.
+func TestTrialDeciderMatchesFullDecider(t *testing.T) {
+	for _, m := range []*turing.Machine{turing.HaltWith('0'), turing.Counter(3, '1')} {
+		p := tinyParams(m, 10)
+		asm, err := p.BuildG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials, seed = 25, 5
+		factored := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed})
+		full := local.AcceptanceTrials(p.RandomizedDecider(), asm.Labeled,
+			engine.TrialOptions{Trials: trials, Seed: seed})
+		if factored.Trials != full.Trials || factored.Accepted != full.Accepted {
+			t.Fatalf("machine %s: factored %d/%d accepted, full %d/%d",
+				m.Name, factored.Accepted, factored.Trials, full.Accepted, full.Trials)
+		}
+		for i := range full.Verdicts {
+			if factored.Verdicts[i] != full.Verdicts[i] {
+				t.Fatalf("machine %s: trial %d verdict %s (factored) vs %s (full)",
+					m.Name, i, factored.Verdicts[i], full.Verdicts[i])
+			}
+		}
+	}
+}
+
+// A corrupted assembly must be rejected by the deterministic prefix alone:
+// rejection probability 1, no random stage, for any trial budget.
+func TestRejectionTrialsPrefixReject(t *testing.T) {
+	p := tinyParams(turing.HaltWith('0'), 10)
+	asm, err := p.BuildG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one table label so the structure verifier rejects.
+	labels := append([]graph.Label(nil), asm.Labeled.Labels...)
+	labels[asm.TableNode[0][0]] = "junk"
+	corrupted := graph.NewLabeled(asm.Labeled.G, labels)
+	stats := engine.EvalTrials(p.TrialDecider(), corrupted, engine.TrialOptions{Trials: 40, Seed: 2})
+	if !stats.PrefixRejected || stats.Estimate != 0 || stats.Trials != 40 {
+		t.Fatalf("corrupted assembly: %+v, want prefix rejection with estimate 0", stats)
+	}
+	if stats.Evaluated != 0 {
+		t.Fatalf("random stage ran %d times on a prefix-rejected sweep", stats.Evaluated)
+	}
+	if 1-stats.Estimate != 1 {
+		t.Fatal("rejection rate must be 1")
+	}
+}

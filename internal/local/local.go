@@ -103,22 +103,30 @@ func RunRandomized(alg RandomizedAlgorithm, l *graph.Labeled, seed int64) Outcom
 		engine.Options{Scheduler: engine.Sequential, Seed: seed})
 }
 
+// EngineTrialDecider adapts a randomized algorithm to the trial engine's
+// decider type (no deterministic prefix; algorithms with a coin-free stage
+// worth factoring build an engine.TrialDecider directly, as
+// halting.Params.TrialDecider does).
+func EngineTrialDecider(alg RandomizedAlgorithm) engine.TrialDecider {
+	return engine.TrialDecider{Name: alg.Name(), Horizon: alg.Horizon(), DecideRand: alg.DecideRandomized}
+}
+
+// AcceptanceTrials runs a randomized algorithm through the engine's Monte
+// Carlo subsystem: trials×nodes randomized decisions on the trial worker
+// pool, per-trial early exit, deterministic per-(trial, node) coin streams,
+// and — when the options ask for it — adaptive stopping on the acceptance
+// estimate's confidence interval.
+func AcceptanceTrials(alg RandomizedAlgorithm, l *graph.Labeled, opts engine.TrialOptions) engine.TrialStats {
+	return engine.EvalTrials(EngineTrialDecider(alg), l, opts)
+}
+
 // EstimateAcceptance runs a randomized algorithm over `trials` independent
-// seeds and returns the fraction of runs in which the instance was accepted
-// (all nodes Yes). Each trial early-exits at the first rejecting node.
+// per-trial coin derivations and returns the fraction of trials in which the
+// instance was accepted (all nodes Yes) — the fixed-trial-count wrapper over
+// AcceptanceTrials. Each trial early-exits at the first rejecting node.
 func EstimateAcceptance(alg RandomizedAlgorithm, l *graph.Labeled, trials int, seed int64) float64 {
-	if trials < 1 {
-		panic("local: trials must be positive")
-	}
-	dec := EngineRandomizedDecider(alg)
-	accepted := 0
-	for i := 0; i < trials; i++ {
-		opts := engine.Options{EarlyExit: true, Seed: seed + int64(i)*2654435761}
-		if engine.EvalOblivious(dec, l, opts).Accepted {
-			accepted++
-		}
-	}
-	return float64(accepted) / float64(trials)
+	engine.ValidateTrials(trials)
+	return AcceptanceTrials(alg, l, engine.TrialOptions{Trials: trials, Seed: seed}).Estimate
 }
 
 // AsOblivious adapts an ObliviousAlgorithm to the Algorithm interface by

@@ -1,0 +1,62 @@
+package turing
+
+import "sync"
+
+// RunMemo memoises Run for one machine by step budget. Monte Carlo trial
+// sweeps (Corollary 1's randomised decider) call Run once per (trial, node)
+// with budgets drawn from a tiny set — halting.DrawBudget has at most 15
+// distinct outcomes — so across trials×nodes calls only a handful of
+// distinct simulations exist; the memo collapses the rest to a map lookup.
+//
+// A RunMemo is safe for concurrent use by the trial engine's workers.
+// Results are shared: callers must treat the returned Result (including
+// Final.Tape) as read-only.
+type RunMemo struct {
+	m  *Machine
+	mu sync.RWMutex
+	// results memoises by exact budget. Exactness matters: Run's Steps and
+	// Final differ below the halting point, and a non-halting Result still
+	// depends on how far the budget let the run go.
+	results map[int]memoized
+}
+
+type memoized struct {
+	res Result
+	err error
+}
+
+// NewRunMemo returns an empty memo for m.
+func NewRunMemo(m *Machine) *RunMemo {
+	return &RunMemo{m: m, results: make(map[int]memoized)}
+}
+
+// Machine returns the memoised machine.
+func (rm *RunMemo) Machine() *Machine { return rm.m }
+
+// Run is Run(Machine(), maxSteps) served from the memo. The first call per
+// budget simulates under the write lock; concurrent callers with the same
+// budget wait rather than duplicating the simulation (budgets are few and
+// simulations can be long, so lost parallelism is cheaper than lost work).
+func (rm *RunMemo) Run(maxSteps int) (Result, error) {
+	rm.mu.RLock()
+	e, ok := rm.results[maxSteps]
+	rm.mu.RUnlock()
+	if ok {
+		return e.res, e.err
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if e, ok := rm.results[maxSteps]; ok {
+		return e.res, e.err
+	}
+	res, err := Run(rm.m, maxSteps)
+	rm.results[maxSteps] = memoized{res: res, err: err}
+	return res, err
+}
+
+// Len reports how many distinct budgets have been simulated.
+func (rm *RunMemo) Len() int {
+	rm.mu.RLock()
+	defer rm.mu.RUnlock()
+	return len(rm.results)
+}

@@ -1,0 +1,58 @@
+package turing
+
+import (
+	"sync"
+	"testing"
+)
+
+// The memo must be transparent: same results as direct Run for every budget,
+// one simulation per distinct budget, and safe under concurrent lookups.
+func TestRunMemoMatchesRun(t *testing.T) {
+	m := Counter(4, '1')
+	memo := NewRunMemo(m)
+	if memo.Machine() != m {
+		t.Fatal("Machine() lost the machine")
+	}
+	budgets := []int{1, 4, 16, 64, 4, 16, 1}
+	for _, b := range budgets {
+		got, gotErr := memo.Run(b)
+		want, wantErr := Run(m, b)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("budget %d: err %v, want %v", b, gotErr, wantErr)
+		}
+		if got.Halted != want.Halted || got.Steps != want.Steps || got.Output != want.Output {
+			t.Fatalf("budget %d: result %+v, want %+v", b, got, want)
+		}
+	}
+	if memo.Len() != 4 {
+		t.Fatalf("memo holds %d budgets, want 4 distinct", memo.Len())
+	}
+}
+
+func TestRunMemoConcurrent(t *testing.T) {
+	memo := NewRunMemo(Counter(6, '0'))
+	want, wantErr := Run(memo.Machine(), 64)
+	if wantErr != nil {
+		t.Fatal(wantErr)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				budget := 1 << (i % 8)
+				res, err := memo.Run(budget)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if budget == 64 && (res.Halted != want.Halted || res.Output != want.Output) {
+					t.Errorf("budget 64: %+v, want %+v", res, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

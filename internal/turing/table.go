@@ -26,14 +26,58 @@ func (c Cell) Label(xMod3, yMod3 int) string {
 	return fmt.Sprintf("cell{s=%c;q=%d;x3=%d;y3=%d}", c.Sym, c.State, xMod3, yMod3)
 }
 
-// ParseCellLabel inverts Cell.Label.
+// ParseCellLabel inverts Cell.Label. The structure verifiers parse one label
+// per (node, neighbour) pair in their hot loop, so this is a hand-rolled
+// scan — fmt.Sscanf's reflection and internal panic/recover error path cost
+// more than the whole surrounding check.
 func ParseCellLabel(s string) (Cell, int, int, error) {
-	var sym byte
-	var q, x3, y3 int
-	if _, err := fmt.Sscanf(s, "cell{s=%c;q=%d;x3=%d;y3=%d}", &sym, &q, &x3, &y3); err != nil {
-		return Cell{}, 0, 0, fmt.Errorf("turing: bad cell label %q: %w", s, err)
+	fail := func() (Cell, int, int, error) {
+		return Cell{}, 0, 0, fmt.Errorf("turing: bad cell label %q", s)
+	}
+	rest, ok := strings.CutPrefix(s, "cell{s=")
+	if !ok || rest == "" {
+		return fail()
+	}
+	sym := rest[0]
+	q, rest, ok := cutInt(rest[1:], ";q=")
+	if !ok {
+		return fail()
+	}
+	x3, rest, ok := cutInt(rest, ";x3=")
+	if !ok {
+		return fail()
+	}
+	y3, rest, ok := cutInt(rest, ";y3=")
+	if !ok || rest != "}" {
+		return fail()
 	}
 	return Cell{Sym: Symbol(sym), State: State(q)}, x3, y3, nil
+}
+
+// cutInt strips prefix from s and reads the decimal (possibly negative)
+// integer that follows, returning the value and the remainder.
+func cutInt(s, prefix string) (int, string, bool) {
+	s, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, s, false
+	}
+	i, neg := 0, false
+	if i < len(s) && s[i] == '-' {
+		neg = true
+		i++
+	}
+	start, val := i, 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		val = val*10 + int(s[i]-'0')
+		i++
+	}
+	if i == start {
+		return 0, s, false
+	}
+	if neg {
+		val = -val
+	}
+	return val, s[i:], true
 }
 
 // NeighborKind classifies a horizontal neighbour of a cell for the window

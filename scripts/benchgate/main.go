@@ -23,6 +23,13 @@
 // the -current artifact (no baseline needed; pass -max-allocs alone to gate
 // a 0 allocs/op steady-state claim). Ratio and alloc gates compose: when
 // both -baseline and -max-allocs are given, both must pass.
+//
+// With -reference but no -baseline the gate runs in same-artifact mode: the
+// benchmark's ns/op divided by the reference's ns/op (both from -current)
+// must stay within -max-ratio. This gates a speedup measured against an
+// in-tree replica of the old code path on the same run and hardware — the
+// trial-engine gate demands engine ≤ 0.25× the sequential trial loop, i.e.
+// a retained ≥4× speedup — with no committed baseline needed.
 package main
 
 import (
@@ -124,8 +131,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -current and -benchmark are required")
 		os.Exit(2)
 	}
-	if *baseline == "" && *maxAllocs < 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: nothing to gate — provide -baseline and/or -max-allocs")
+	if *baseline == "" && *maxAllocs < 0 && *reference == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to gate — provide -baseline, -reference and/or -max-allocs")
 		os.Exit(2)
 	}
 	cur, err := parseArtifact(*current)
@@ -143,6 +150,20 @@ func main() {
 		if allocs > *maxAllocs {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s allocates %.0f/op beyond the %.0f allowed\n",
 				*bench, allocs, *maxAllocs)
+			os.Exit(1)
+		}
+	}
+	if *baseline == "" && *reference != "" {
+		ratio, err := metric(cur, *bench, *reference, *current)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: %s at %.3fx of %s in %s (max %.2f)\n",
+			*bench, ratio, *reference, *current, *maxRatio)
+		if ratio > *maxRatio {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s runs at %.3fx of its reference, above the %.2f allowed\n",
+				*bench, ratio, *maxRatio)
 			os.Exit(1)
 		}
 	}
