@@ -35,6 +35,15 @@
 // soon as the interval separates from T. The trial pool follows -backend
 // (sequential: one worker; sharded: GOMAXPROCS workers) — the committed
 // statistics are identical either way, by construction.
+//
+// -cpuprofile FILE and -memprofile FILE record runtime/pprof profiles of the
+// whole invocation (graph construction included — build cost is part of a
+// real sweep). The memory profile is a heap snapshot after a final GC. View
+// with `go tool pprof FILE`. These exist so perf work can profile actual
+// sweeps — e.g. a cold pyramid run at height 10 — instead of extrapolating
+// from microbenchmarks:
+//
+//	localsim -graph pyramid -n 10 -decider triangle-free -dedup -summary -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -43,6 +52,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -73,11 +84,43 @@ func run(args []string) error {
 	trials := fs.Int("trials", 0, "run a Monte Carlo sweep of this many trials (randomized deciders only)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for the trial sweep's Wilson interval")
 	threshold := fs.Float64("threshold", math.NaN(), "acceptance threshold enabling adaptive stopping of the trial sweep")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the invocation to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a post-GC heap profile to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *runs < 1 {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Deferred so the snapshot covers whichever mode ran; a final GC
+		// makes the profile reflect live memory, not collectable garbage.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "localsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "localsim: memprofile:", err)
+			}
+		}()
 	}
 	if *useMP {
 		if *backend != "sequential" && *backend != "mp" && *backend != "message-passing" {

@@ -171,18 +171,21 @@ func VerifyLD(alg local.Algorithm, s *Suite, provider IDProvider, trials int) *R
 func VerifyLDStar(alg local.ObliviousAlgorithm, s *Suite) *Report {
 	r := &Report{Decider: alg.Name(), Suite: s.Name}
 	dec := local.EngineObliviousDecider(alg)
+	// Each side of the suite runs as one batched launch (shared worker pool
+	// and per-worker extractor); dedup stays off per the contract above, so
+	// batching changes only the launch cost, never what the probe observes.
 	opts := engine.Options{EarlyExit: true}
-	for i, l := range s.Yes {
+	for i, out := range engine.EvalBatchOblivious(dec, s.Yes, opts) {
 		r.YesTotal++
-		if out := engine.EvalOblivious(dec, l, opts); out.Accepted {
+		if out.Accepted {
 			r.YesPassed++
 		} else {
 			r.Failures = append(r.Failures, fmt.Sprintf("yes-instance %d rejected", i))
 		}
 	}
-	for i, l := range s.No {
+	for i, out := range engine.EvalBatchOblivious(dec, s.No, opts) {
 		r.NoTotal++
-		if out := engine.EvalOblivious(dec, l, opts); !out.Accepted {
+		if !out.Accepted {
 			r.NoPassed++
 		} else {
 			r.Failures = append(r.Failures, fmt.Sprintf("no-instance %d accepted", i))

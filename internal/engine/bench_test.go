@@ -148,3 +148,38 @@ func BenchmarkParallelScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEvalBatch measures the many-small-instances regime EvalBatch
+// exists for — hundreds of small hosts through one launch — against the
+// per-instance Eval loop every caller ran before. Both arms get the same
+// options including an explicit fresh cache per iteration, so the measured
+// gap is pure launch/extractor amortisation, not cache sharing (that effect
+// is pinned separately by TestEvalBatchSharesCache).
+func BenchmarkEvalBatch(b *testing.B) {
+	dec := cheapDecider(2)
+	batch := make([]*graph.Labeled, 256)
+	for i := range batch {
+		batch[i] = graph.RandomLabels(graph.Cycle(16+i%17), []graph.Label{"a", "b"}, int64(i))
+	}
+	for _, tc := range []struct {
+		name  string
+		sched Scheduler
+	}{{"sequential", Sequential}, {"sharded", Sharded}} {
+		b.Run(tc.name+"/eval-loop", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := Options{Scheduler: tc.sched, Dedup: true, Cache: NewViewCache()}
+				for _, l := range batch {
+					EvalOblivious(dec, l, opts)
+				}
+			}
+		})
+		b.Run(tc.name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := Options{Scheduler: tc.sched, Dedup: true, Cache: NewViewCache()}
+				EvalBatchOblivious(dec, batch, opts)
+			}
+		})
+	}
+}

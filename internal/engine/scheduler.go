@@ -108,7 +108,16 @@ type seqScheduler struct{}
 func (seqScheduler) Name() string { return "sequential" }
 
 func (seqScheduler) run(j *job) bool {
-	x := j.extractor()
+	return j.runNodes(j.extractor())
+}
+
+// runNodes evaluates every node of the job in index order on the calling
+// goroutine through the given extractor (which must be bound to the job's
+// host), filling verdicts and all single-worker stats. It is the sequential
+// scheduler's whole body and the per-instance inner loop of EvalBatch, where
+// the extractor arrives Reset from the previous instance instead of freshly
+// allocated.
+func (j *job) runNodes(x *graph.ViewExtractor) bool {
 	accepted := true
 	inserted := 0
 	for v := 0; v < j.n; v++ {

@@ -218,9 +218,12 @@ func RunE8(cfg Config) (*Result, error) {
 		alg := halting.PromiseRBudgetedOblivious(registry, b)
 		row := []string{alg.Name()}
 		ok := true
-		for i, l := range append(prob.Yes, prob.No...) {
-			out := engine.EvalOblivious(local.EngineObliviousDecider(alg), l,
-				engine.Options{EarlyExit: true, Dedup: true, Cache: cache})
+		// One batched launch per budget: the instance slice shares one worker
+		// pool and per-worker extractor on top of the sweep-wide cache.
+		outs := engine.EvalBatchOblivious(local.EngineObliviousDecider(alg),
+			append(prob.Yes, prob.No...),
+			engine.Options{EarlyExit: true, Dedup: true, Cache: cache})
+		for i, out := range outs {
 			evaluations++
 			cell := "accept"
 			if !out.Accepted {

@@ -19,6 +19,14 @@ import (
 // label- and root-preserving isomorphic, exactly like the legacy string) plus
 // a 64-bit FNV-1a fingerprint of those bytes. Caches key on the fingerprint
 // and keep the byte code only to verify the rare fingerprint collision.
+//
+// Rooted inputs first go through the shape-specialised fast paths in
+// fastpath.go (rooted paths, cycles and bounded-degree trees — the dominant
+// small view shapes — get closed-form canonical codes in O(n), in a byte
+// namespace disjoint from the generic encoder's). Everything else runs the
+// generic search below: 1-WL refinement with counting/radix rounds over the
+// dense colour range, then individualisation-refinement branching where the
+// colouring is not discrete.
 
 // Code is a canonical form of a (rooted) labelled graph. Bytes is a complete
 // canonical encoding: two graphs receive equal Bytes iff they are isomorphic
@@ -51,7 +59,34 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
+// fingerprint64 is FNV-1a over b, consuming 8-byte words per loop iteration
+// with the hash step fully unrolled. FNV-1a chains through every byte, so the
+// word loop cannot reorder or combine steps — it only removes per-byte bounds
+// checks and loop overhead. The output is bit-identical to the byte-at-a-time
+// reference (fingerprint64Scalar, pinned by TestFingerprintUnrolledMatchesScalar).
 func fingerprint64(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for len(b) >= 8 {
+		x := binary.LittleEndian.Uint64(b)
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		h = (h ^ (x >> 8 & 0xff)) * fnvPrime64
+		h = (h ^ (x >> 16 & 0xff)) * fnvPrime64
+		h = (h ^ (x >> 24 & 0xff)) * fnvPrime64
+		h = (h ^ (x >> 32 & 0xff)) * fnvPrime64
+		h = (h ^ (x >> 40 & 0xff)) * fnvPrime64
+		h = (h ^ (x >> 48 & 0xff)) * fnvPrime64
+		h = (h ^ (x >> 56)) * fnvPrime64
+		b = b[8:]
+	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// fingerprint64Scalar is the byte-at-a-time FNV-1a reference the unrolled
+// word loop is pinned against.
+func fingerprint64Scalar(b []byte) uint64 {
 	h := uint64(fnvOffset64)
 	for _, c := range b {
 		h ^= uint64(c)
@@ -59,6 +94,14 @@ func fingerprint64(b []byte) uint64 {
 	}
 	return h
 }
+
+// radixMaxSigLen bounds the refinement-signature length (1 + degree) for
+// which the counting/radix sort runs: an LSD radix pass touches every node
+// once per signature position, so skewed-degree inputs (one hub of degree
+// n-1 would force n passes over all nodes) fall back to the comparison sort.
+// Every view family the engine dedups is bounded-degree, far below the
+// bound.
+const radixMaxSigLen = 16
 
 // CodeWorkspace holds every buffer the canonical-form search needs: the
 // colour arrays, the flat refinement-signature storage, the counting and
@@ -71,25 +114,34 @@ func fingerprint64(b []byte) uint64 {
 // (the engine does, via the per-worker ViewExtractor).
 type CodeWorkspace struct {
 	// Colouring state for the top-level call; branches use frame buffers.
-	cur []int
+	// Colours and signatures are int32 — node counts fit (the Graph
+	// representation is int32-bounded) and the halved element size keeps the
+	// refinement loop's working set cache-dense.
+	cur []int32
 
-	// Refinement scratch: per-node signature (colour followed by the sorted
-	// neighbour colour multiset) stored flat in sigBuf at sigPos/sigLen.
-	next   []int
+	// Refinement scratch: per-node signature (colour followed by the
+	// neighbour colour multiset in ascending order) stored flat in sigBuf at
+	// sigPos/sigLen. sigCur is the per-node write cursor of the
+	// counting-based signature fill; order/order2 are the ping-pong node
+	// permutations of the LSD radix rounds.
+	next   []int32
 	sigPos []int
 	sigLen []int
-	sigBuf []int
+	sigCur []int
+	sigBuf []int32
 	order  []int
+	order2 []int
 	counts []int
 
 	// Persistent sorters so sort.Sort receives a pointer into the workspace
-	// and no closure or interface value is allocated per call.
+	// and no closure or interface value is allocated on the (rare)
+	// comparison-sort fallback.
 	initS initSorter
 	sigS  sigSorter
 
 	// Encoder scratch.
 	encOrder []int
-	encNbrs  []int
+	encNbrs  []int32
 
 	// Top-level output buffer; returned Codes alias it.
 	buf []byte
@@ -98,13 +150,19 @@ type CodeWorkspace struct {
 	// subsequent canonical-code computation in the same workspace.
 	rawBuf []byte
 
+	// fpScratch is the fast paths' subtree-encoding arena (fastpath.go);
+	// fpCount is the traversal budget that bounds shape detection on
+	// ill-formed inputs.
+	fpScratch []byte
+	fpCount   int
+
 	// Individualisation-refinement branching frames, one per recursion
 	// depth, pre-grown so frame pointers stay stable across recursion.
 	frames []canonFrame
 }
 
 type canonFrame struct {
-	colors []int
+	colors []int32
 	best   []byte
 	try    []byte
 }
@@ -117,7 +175,9 @@ func NewCodeWorkspace() *CodeWorkspace {
 }
 
 // GraphCode returns the canonical code of an unrooted labelled graph — the
-// integer-pipeline equivalent of CanonicalCode.
+// integer-pipeline equivalent of CanonicalCode. Unrooted codes always run
+// the generic search: the shape fast paths exploit the root as a fixed
+// anchor.
 func (w *CodeWorkspace) GraphCode(l *Labeled) Code {
 	return w.code(l, -1)
 }
@@ -134,6 +194,20 @@ func (w *CodeWorkspace) RootedCode(l *Labeled, root int) Code {
 }
 
 func (w *CodeWorkspace) code(l *Labeled, root int) Code {
+	if root >= 0 {
+		if out, ok := w.fastCode(l, root, w.buf[:0]); ok {
+			w.buf = out
+			return Code{Fingerprint: fingerprint64(w.buf), Bytes: w.buf}
+		}
+	}
+	return w.genericCode(l, root)
+}
+
+// genericCode is the full 1-WL + individualisation-refinement pipeline,
+// bypassing the shape fast paths. It is the fallback for every input no fast
+// path accepts and the differential reference the fast paths are pinned
+// against (fastpath_test.go).
+func (w *CodeWorkspace) genericCode(l *Labeled, root int) Code {
 	n := l.N()
 	w.grow(n)
 	w.buf = w.buf[:0]
@@ -151,18 +225,31 @@ func (w *CodeWorkspace) code(l *Labeled, root int) Code {
 // must not move while a deeper call appends.
 func (w *CodeWorkspace) grow(n int) {
 	if cap(w.cur) < n {
-		w.cur = make([]int, n)
-		w.next = make([]int, n)
+		w.cur = make([]int32, n)
+		w.next = make([]int32, n)
 		w.sigPos = make([]int, n)
 		w.sigLen = make([]int, n)
+		w.sigCur = make([]int, n)
 		w.order = make([]int, n)
-		w.counts = make([]int, n+1)
+		w.order2 = make([]int, n)
+		w.counts = make([]int, n+2)
 		w.encOrder = make([]int, n)
 	}
 	if len(w.frames) < n+1 {
 		frames := make([]canonFrame, n+1)
 		copy(frames, w.frames)
 		w.frames = frames
+	}
+}
+
+// Prewarm sizes every workspace buffer for inputs of up to n nodes and m
+// edges, so the first canonical codes of a sweep pay no growth allocations
+// and back-to-back misses touch the same warm memory. The ViewExtractor
+// prewarms its shared workspace with each extracted view's dimensions.
+func (w *CodeWorkspace) Prewarm(n, m int) {
+	w.grow(n)
+	if need := n + 2*m; cap(w.sigBuf) < need {
+		w.sigBuf = make([]int32, need)
 	}
 }
 
@@ -202,7 +289,7 @@ func (w *CodeWorkspace) initColors(l *Labeled, root int) int {
 	}
 	w.initS = initSorter{order: order, labels: l.Labels, root: root}
 	sort.Sort(&w.initS)
-	k := 0
+	k := int32(0)
 	w.cur[order[0]] = 0
 	for i := 1; i < n; i++ {
 		prev, v := order[i-1], order[i]
@@ -211,7 +298,7 @@ func (w *CodeWorkspace) initColors(l *Labeled, root int) int {
 		}
 		w.cur[v] = k
 	}
-	return k + 1
+	return int(k) + 1
 }
 
 // initSorter orders nodes by (root-first, label).
@@ -236,7 +323,7 @@ func (s *initSorter) Less(i, j int) bool {
 // the members of the smallest non-singleton class and keep the
 // lexicographically smallest byte code. colors is refined in place; k is its
 // current class count.
-func (w *CodeWorkspace) canon(l *Labeled, root, depth, k int, colors []int, out []byte) []byte {
+func (w *CodeWorkspace) canon(l *Labeled, root, depth, k int, colors []int32, out []byte) []byte {
 	k = w.refine(l.G, colors, k)
 	target := w.firstNonSingletonClass(colors, k)
 	if target < 0 {
@@ -244,11 +331,11 @@ func (w *CodeWorkspace) canon(l *Labeled, root, depth, k int, colors []int, out 
 	}
 	f := &w.frames[depth]
 	if cap(f.colors) < len(colors) {
-		f.colors = make([]int, len(colors))
+		f.colors = make([]int32, len(colors))
 	}
 	haveBest := false
 	for v := range colors {
-		if colors[v] != target {
+		if int(colors[v]) != target {
 			continue
 		}
 		bc := f.colors[:len(colors)]
@@ -268,32 +355,78 @@ func (w *CodeWorkspace) canon(l *Labeled, root, depth, k int, colors []int, out 
 	return append(out, f.best...)
 }
 
-// refine runs 1-WL colour refinement with counting-free integer signatures:
-// each round sorts nodes by (colour, sorted neighbour colour multiset) and
-// re-densifies, until the class count stabilises. colors is updated in
-// place; the final class count is returned.
-func (w *CodeWorkspace) refine(g *Graph, colors []int, k int) int {
+// refine runs 1-WL colour refinement in counting passes over the dense
+// colour range. Each round:
+//
+//  1. orders nodes by current colour with one counting sort;
+//  2. builds every node's signature — its colour followed by its neighbour
+//     colours in ascending order — WITHOUT any per-node sort: walking the
+//     nodes u in ascending colour order and appending colour(u) to each
+//     neighbour's signature emits every neighbour list already sorted
+//     (one O(n+m) scatter, the classic partition-refinement trick);
+//  3. sorts the node permutation lexicographically by signature with LSD
+//     radix passes (pad-at-end sentinel smaller than every colour, so the
+//     padded fixed-length order equals the shorter-prefix-first variable
+//     length order the comparison sort used — the resulting colouring, and
+//     hence the emitted bytes, are unchanged);
+//  4. re-densifies colours along the sorted order until the class count
+//     stabilises.
+//
+// Total cost per round is O(n + m + maxSig·(n + k)) with maxSig = 1 + max
+// degree — no comparison sort, no interface dispatch, no per-node
+// slices.Sort. Inputs with maxSig > radixMaxSigLen (degree-skewed hosts, not
+// views) take the comparison fallback, which is the pre-counting behaviour.
+// colors is updated in place; the final class count is returned.
+func (w *CodeWorkspace) refine(g *Graph, colors []int32, k int) int {
 	n := len(colors)
 	offsets, nbrs := g.offsets, g.neighbors
+	if need := n + len(nbrs); cap(w.sigBuf) < need {
+		w.sigBuf = make([]int32, need)
+	}
+	sigBuf := w.sigBuf[:n+len(nbrs)]
 	for {
-		w.sigBuf = w.sigBuf[:0]
-		for v := 0; v < n; v++ {
-			w.sigPos[v] = len(w.sigBuf)
-			w.sigBuf = append(w.sigBuf, colors[v])
-			start := len(w.sigBuf)
-			for _, u := range nbrs[offsets[v]:offsets[v+1]] {
-				w.sigBuf = append(w.sigBuf, colors[u])
-			}
-			slices.Sort(w.sigBuf[start:])
-			w.sigLen[v] = len(w.sigBuf) - w.sigPos[v]
+		// (1) order nodes by current colour (counting sort).
+		counts := w.counts[:k+1]
+		for c := range counts {
+			counts[c] = 0
+		}
+		for _, c := range colors {
+			counts[c]++
+		}
+		sum := 0
+		for c := range counts {
+			counts[c], sum = sum, sum+counts[c]
 		}
 		order := w.order[:n]
-		for i := range order {
-			order[i] = i
+		for v := 0; v < n; v++ {
+			c := colors[v]
+			order[counts[c]] = v
+			counts[c]++
 		}
-		// Views are small, so a direct insertion sort beats sort.Sort's
-		// interface dispatch; large inputs fall back to the stdlib.
-		if n <= 32 {
+		// (2) signature layout and sorted-neighbour fill.
+		pos, maxSig := 0, 0
+		for v := 0; v < n; v++ {
+			w.sigPos[v] = pos
+			w.sigCur[v] = pos + 1
+			d := int(offsets[v+1] - offsets[v])
+			w.sigLen[v] = 1 + d
+			if 1+d > maxSig {
+				maxSig = 1 + d
+			}
+			sigBuf[pos] = colors[v]
+			pos += 1 + d
+		}
+		for _, u := range order {
+			cu := colors[u]
+			for _, v := range nbrs[offsets[u]:offsets[u+1]] {
+				sigBuf[w.sigCur[v]] = cu
+				w.sigCur[v]++
+			}
+		}
+		// (3) lexicographic sort of the permutation by signature.
+		if maxSig <= radixMaxSigLen {
+			w.radixOrder(n, k, maxSig)
+		} else if n <= 32 {
 			for i := 1; i < n; i++ {
 				for j := i; j > 0 && w.compareSig(order[j-1], order[j]) > 0; j-- {
 					order[j-1], order[j] = order[j], order[j-1]
@@ -303,8 +436,9 @@ func (w *CodeWorkspace) refine(g *Graph, colors []int, k int) int {
 			w.sigS.n = n
 			sort.Sort(&w.sigS)
 		}
+		// (4) densify along the sorted order.
 		next := w.next[:n]
-		kNext := 0
+		kNext := int32(0)
 		next[order[0]] = 0
 		for i := 1; i < n; i++ {
 			if w.compareSig(order[i-1], order[i]) != 0 {
@@ -312,12 +446,50 @@ func (w *CodeWorkspace) refine(g *Graph, colors []int, k int) int {
 			}
 			next[order[i]] = kNext
 		}
-		kNext++
 		copy(colors, next)
-		if kNext == k {
+		if int(kNext)+1 == k {
 			return k
 		}
-		k = kNext
+		k = int(kNext) + 1
+	}
+}
+
+// radixOrder sorts w.order[:n] lexicographically by signature with stable
+// LSD counting passes, one per signature position from last to first.
+// Signatures shorter than the pass position contribute the sentinel key 0,
+// which sorts below every colour key c+1 — exactly the
+// shorter-is-smaller-on-a-common-prefix rule of compareSig.
+func (w *CodeWorkspace) radixOrder(n, k, maxSig int) {
+	a, b := w.order[:n], w.order2[:n]
+	sigBuf := w.sigBuf
+	for p := maxSig - 1; p >= 0; p-- {
+		counts := w.counts[:k+2]
+		for c := range counts {
+			counts[c] = 0
+		}
+		for _, v := range a {
+			key := 0
+			if p < w.sigLen[v] {
+				key = int(sigBuf[w.sigPos[v]+p]) + 1
+			}
+			counts[key]++
+		}
+		sum := 0
+		for c := range counts {
+			counts[c], sum = sum, sum+counts[c]
+		}
+		for _, v := range a {
+			key := 0
+			if p < w.sigLen[v] {
+				key = int(sigBuf[w.sigPos[v]+p]) + 1
+			}
+			b[counts[key]] = v
+			counts[key]++
+		}
+		a, b = b, a
+	}
+	if &a[0] != &w.order[0] {
+		copy(w.order[:n], a)
 	}
 }
 
@@ -343,7 +515,8 @@ func (w *CodeWorkspace) compareSig(a, b int) int {
 	return la - lb
 }
 
-// sigSorter orders the workspace's node permutation by signature.
+// sigSorter orders the workspace's node permutation by signature (the
+// comparison fallback for signature lengths beyond the radix bound).
 type sigSorter struct {
 	w *CodeWorkspace
 	n int
@@ -361,7 +534,7 @@ func (s *sigSorter) Less(i, j int) bool {
 // firstNonSingletonClass returns the smallest colour with more than one
 // member, or -1 when the colouring is discrete. Slice-based counting over the
 // dense colour range.
-func (w *CodeWorkspace) firstNonSingletonClass(colors []int, k int) int {
+func (w *CodeWorkspace) firstNonSingletonClass(colors []int32, k int) int {
 	counts := w.counts[:k]
 	for c := range counts {
 		counts[c] = 0
@@ -382,7 +555,7 @@ func (w *CodeWorkspace) firstNonSingletonClass(colors []int, k int) int {
 // per node the sorted adjacency as canonical positions. The encoding is
 // unambiguous, so equal byte codes imply a label- and root-preserving
 // isomorphism — the same guarantee as the legacy string encoder.
-func (w *CodeWorkspace) encode(l *Labeled, root int, colors []int, out []byte) []byte {
+func (w *CodeWorkspace) encode(l *Labeled, root int, colors []int32, out []byte) []byte {
 	n := l.N()
 	order := w.encOrder[:n]
 	for v, c := range colors {
@@ -409,11 +582,26 @@ func (w *CodeWorkspace) encode(l *Labeled, root int, colors []int, out []byte) [
 			// colour.
 			p = append(p, colors[u])
 		}
-		slices.Sort(p)
+		sortInt32sSmall(p)
 		w.encNbrs = p
 		for _, q := range p {
 			out = binary.AppendUvarint(out, uint64(q))
 		}
 	}
 	return out
+}
+
+// sortInt32sSmall sorts an int32 slice, by insertion below 32 entries
+// (adjacency rows of views are a handful of entries; stdlib dispatch costs
+// more than the sort) and via the stdlib beyond.
+func sortInt32sSmall(p []int32) {
+	if len(p) > 32 {
+		slices.Sort(p)
+		return
+	}
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j-1] > p[j]; j-- {
+			p[j-1], p[j] = p[j], p[j-1]
+		}
+	}
 }

@@ -77,6 +77,35 @@ func NewInstanceViewExtractor(in *Instance) *ViewExtractor {
 	return x
 }
 
+// Reset rebinds the extractor to a new host graph while retaining every
+// scratch buffer: the BFS stamp array, the flat view arenas and the shared
+// canonical-code workspace. It is the batched-evaluation analogue of
+// NewViewExtractor — one worker's extractor serves a whole slice of
+// instances, so per-instance setup stops allocating once the largest host
+// has been seen. Stamp entries from the previous host are harmless: At
+// advances the visit epoch before every extraction, so no stale stamp can
+// equal a fresh epoch. After Reset the extractor produces ID-free views; use
+// ResetInstance to carry identifiers.
+func (x *ViewExtractor) Reset(l *Labeled) {
+	n := l.N()
+	if cap(x.stamp) < n {
+		x.stamp = make([]int, n)
+		x.viewIndex = make([]int32, n)
+	} else {
+		x.stamp = x.stamp[:n]
+		x.viewIndex = x.viewIndex[:n]
+	}
+	x.l = l
+	x.ids = nil
+}
+
+// ResetInstance rebinds the extractor to an identifier-carrying instance,
+// retaining scratch exactly like Reset.
+func (x *ViewExtractor) ResetInstance(in *Instance) {
+	x.Reset(in.Labeled)
+	x.ids = in.IDs
+}
+
 // At extracts the radius-t view of node v. The result is valid until the next
 // call; see the type documentation for the full lifetime contract.
 func (x *ViewExtractor) At(v, t int) *View {
@@ -131,6 +160,11 @@ func (x *ViewExtractor) At(v, t int) *View {
 			x.outIDs[i] = x.ids[w]
 		}
 	}
+
+	// Pre-size the shared code workspace for this view while its arrays are
+	// hot: a following CanonCode miss then runs entirely in warm, already
+	// grown buffers (a handful of cap checks when nothing needs growing).
+	x.code.Prewarm(k, len(x.viewNbrs)/2)
 
 	x.g = Graph{offsets: x.viewOffsets, neighbors: x.viewNbrs, m: len(x.viewNbrs) / 2}
 	x.labeled = Labeled{G: &x.g, Labels: x.labels[:k]}

@@ -92,3 +92,38 @@ func TestViewExtractorReuseConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestViewExtractorReset pins the rebind contract: after Reset (plain or
+// instance-carrying) the extractor must reproduce fresh-extractor views
+// exactly — across hosts of growing and shrinking sizes, so both the
+// buffer-reuse and the regrow arms are exercised.
+func TestViewExtractorReset(t *testing.T) {
+	hosts := []*Labeled{
+		UniformlyLabeled(Grid(4, 4), "g"),
+		RandomLabels(Cycle(40), []Label{"a", "b"}, 1),
+		RandomLabels(Random(9, 0.3, 2), []Label{"x"}, 3),
+	}
+	x := NewViewExtractor(hosts[0])
+	for round := 0; round < 2; round++ {
+		for _, l := range hosts {
+			x.Reset(l)
+			for v := 0; v < l.N(); v++ {
+				if !viewsIdentical(x.At(v, 2), ObliviousViewOf(l, v, 2)) {
+					t.Fatalf("round %d: reset extractor diverges on host %v node %d", round, l, v)
+				}
+			}
+		}
+	}
+	ids := make([]int, hosts[1].N())
+	for i := range ids {
+		ids[i] = 100 + 3*i
+	}
+	in := NewInstance(hosts[1], ids)
+	x.ResetInstance(in)
+	for v := 0; v < in.N(); v++ {
+		got, want := x.At(v, 2), ViewOf(in, v, 2)
+		if !viewsIdentical(got, want) || got.Code() != want.Code() {
+			t.Fatalf("ResetInstance extractor diverges on node %d", v)
+		}
+	}
+}

@@ -242,11 +242,18 @@ func NeighborhoodCode(l *graph.Labeled, v, radius, exactLimit int) string {
 }
 
 // NeighborhoodSet enumerates all radius-r neighbourhood codes of a labelled
-// graph (with the size cutoff of NeighborhoodCode).
+// graph (with the size cutoff of NeighborhoodCode), through one shared
+// extractor so the whole sweep reuses a single set of scratch buffers.
 func NeighborhoodSet(l *graph.Labeled, radius, exactLimit int) map[string]struct{} {
 	out := make(map[string]struct{})
+	x := graph.NewViewExtractor(l)
 	for v := 0; v < l.N(); v++ {
-		out[NeighborhoodCode(l, v, radius, exactLimit)] = struct{}{}
+		view := x.At(v, radius)
+		if view.N() <= exactLimit {
+			out[view.ObliviousCode()] = struct{}{}
+		} else {
+			out[graph.RootedRefinementCode(view.Labeled, view.Root)] = struct{}{}
+		}
 	}
 	return out
 }
@@ -309,13 +316,18 @@ func (p Params) GenerateNeighborhoods() (*GeneratorResult, error) {
 
 // collectNeighborhoods enumerates the radius-r views of an assembly,
 // skipping views that touch excluded nodes, keeping one representative view
-// per code.
+// per code. The sweep runs through one shared ViewExtractor — per-node
+// extraction and code computation reuse one set of scratch buffers — and
+// only re-extracts a retainable one-shot view for codes seen for the first
+// time (extractor views are invalidated by the next extraction; samples must
+// outlive the loop).
 func collectNeighborhoods(asm *Assembly, radius int, excluded map[int]struct{}) *GeneratorResult {
 	l := asm.Labeled
 	codes := make(map[string]struct{})
 	samples := make(map[string]*graph.View)
+	x := graph.NewViewExtractor(l)
 	for v := 0; v < l.N(); v++ {
-		view := graph.ObliviousViewOf(l, v, radius)
+		view := x.At(v, radius)
 		if len(excluded) > 0 {
 			touches := false
 			for _, orig := range view.Original {
@@ -336,7 +348,7 @@ func collectNeighborhoods(asm *Assembly, radius int, excluded map[int]struct{}) 
 		}
 		if _, seen := codes[code]; !seen {
 			codes[code] = struct{}{}
-			samples[code] = view
+			samples[code] = graph.ObliviousViewOf(l, v, radius)
 		}
 	}
 	return &GeneratorResult{Codes: codes, Samples: samples, Truncated: asm.Truncated, WindowNodes: l.N()}

@@ -5,16 +5,16 @@
 // Because the committed baseline and a CI run execute on different machines,
 // the gate compares machine-independent ratios rather than wall-clock: the
 // benchmark's ns/op is normalised by a reference benchmark measured in the
-// same file (for the engine dedup gate, the no-dedup evaluation of the same
-// instance). A >20% increase of that ratio means dedup throughput genuinely
-// regressed relative to the engine's own baseline cost on identical
-// hardware, not that the runner was slow.
+// same file (for the pyramid construction gate, the n=10^6 cycle freeze).
+// An increase of that ratio beyond the tolerance means the benchmark
+// genuinely regressed relative to the suite's own baseline cost on
+// identical hardware, not that the runner was slow.
 //
 // Usage:
 //
-//	go run ./scripts/benchgate -baseline BENCH_2.json -current BENCH_3.json \
-//	    -benchmark BenchmarkDedup/expensive/dedup \
-//	    -reference BenchmarkDedup/expensive/no-dedup -max-ratio 1.2
+//	go run ./scripts/benchgate -baseline BENCH_3.json -current current.txt \
+//	    -benchmark BenchmarkNewPyramid/h=10 \
+//	    -reference BenchmarkConstructCycle/n=1000000/builder -max-ratio 0.06
 //
 // With -reference omitted the gate compares raw ns/op (same-machine use).
 //
