@@ -36,6 +36,23 @@
 // (sequential: one worker; sharded: GOMAXPROCS workers) — the committed
 // statistics are identical either way, by construction.
 //
+// -faults injects deterministic, seed-replayable faults (internal/fault;
+// replay is keyed by -fault-seed, intensity by -fault-rate):
+//
+//	localsim -faults flip -fault-rate 0.05 -fault-seed 7 -trials 20
+//	localsim -faults labels -fault-rate 0.10 -summary
+//	localsim -graph cycle -n 64 -decider degree2 -faults crash -fault-rate 0.2
+//	localsim -graph cycle -n 32 -decider degree2 -faults messages -fault-rate 0.1
+//
+// Label models (flip | swap | randomize | labels = all three) run the E16
+// self-stabilization protocol on the halting pyramidal family G(M, r) —
+// corrupt, heal, re-decide — and print a rounds-to-recovery table
+// (-graph/-decider are ignored; -trials sets episodes per model). "crash"
+// injects decider crashes into the chosen instance on any backend and shows
+// the retry/VerdictError machinery; "messages" forces the MessagePassing
+// backend and injects drop/duplicate/delay at the given rate, showing the
+// degraded-but-never-wrong fallback path.
+//
 // -cpuprofile FILE and -memprofile FILE record runtime/pprof profiles of the
 // whole invocation (graph construction included — build cost is part of a
 // real sweep). The memory profile is a heap snapshot after a final GC. View
@@ -56,10 +73,13 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/halting"
 	"repro/internal/local"
 	"repro/internal/props"
 	"repro/internal/tree"
+	"repro/internal/turing"
 )
 
 func main() {
@@ -84,6 +104,9 @@ func run(args []string) error {
 	trials := fs.Int("trials", 0, "run a Monte Carlo sweep of this many trials (randomized deciders only)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for the trial sweep's Wilson interval")
 	threshold := fs.Float64("threshold", math.NaN(), "acceptance threshold enabling adaptive stopping of the trial sweep")
+	faults := fs.String("faults", "", "inject faults: flip | swap | randomize | labels | crash | messages")
+	faultRate := fs.Float64("fault-rate", 0.05, "fault intensity: corrupted-label fraction, crash or message-fault probability")
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the deterministic fault streams (same seed replays the same faults)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the invocation to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a post-GC heap profile to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
@@ -129,6 +152,15 @@ func run(args []string) error {
 		*backend = "mp"
 	}
 
+	switch *faults {
+	case "", "crash", "messages":
+		// crash/messages need the instance built below.
+	case "flip", "swap", "randomize", "labels":
+		return runSelfStab(*faults, *faultRate, *faultSeed, *trials)
+	default:
+		return fmt.Errorf("unknown -faults model %q (flip | swap | randomize | labels | crash | messages)", *faults)
+	}
+
 	g, err := buildGraph(*graphKind, *n)
 	if err != nil {
 		return err
@@ -136,6 +168,12 @@ func run(args []string) error {
 	l, alg, randAlg, err := buildDecider(*deciderName, g, *seed)
 	if err != nil {
 		return err
+	}
+	if *faults != "" {
+		if alg == nil {
+			return fmt.Errorf("-faults %s needs a deterministic decider, got %q", *faults, *deciderName)
+		}
+		return runFaulty(*faults, l, alg, *graphKind, *backend, *faultRate, *faultSeed, *summary)
 	}
 	if *trials > 0 {
 		return runTrials(l, randAlg, *deciderName, *graphKind, *backend, *trials, *seed, *confidence, *threshold)
@@ -187,7 +225,9 @@ func run(args []string) error {
 	}
 	fmt.Println()
 	if *useCache && !isMP {
+		cs := cache.Stats()
 		fmt.Printf("cache: shared across %d run(s), %d distinct views decided in total\n", *runs, cache.Len())
+		fmt.Printf("cache: hits=%d misses=%d rejects=%d entries=%d\n", cs.Hits, cs.Misses, cs.Rejects, cs.Entries)
 	}
 	if (*dedup || *useCache) && isMP {
 		fmt.Println("note: the message-passing backend assembles every view operationally and never deduplicates; -dedup/-cache had no effect")
@@ -220,7 +260,10 @@ func runTrials(l *graph.Labeled, alg local.RandomizedAlgorithm, deciderName, gra
 		opts.AdaptiveStop = true
 		opts.Threshold = threshold
 	}
-	stats := local.AcceptanceTrials(alg, l, opts)
+	stats, err := local.AcceptanceTrials(alg, l, opts)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("graph=%s n=%d decider=%s backend=%s\n", graphKind, l.N(), alg.Name(), backend)
 	fmt.Printf("trials: committed=%d/%d accepted=%d estimate=%.4f CI%.0f=[%.4f, %.4f]\n",
 		stats.Trials, trials, stats.Accepted, stats.Estimate,
@@ -262,6 +305,114 @@ func runRandomizedOnce(l *graph.Labeled, alg local.RandomizedAlgorithm, graphKin
 	}
 	fmt.Printf("engine: workers=%d evaluated=%d (single trial; use -trials for a sweep)\n",
 		out.Stats.Workers, out.Stats.Evaluated)
+	return nil
+}
+
+// runSelfStab drives the E16 self-stabilization protocol from the command
+// line: corrupt the pyramidal G(M, r)'s labels under each requested model,
+// heal over geometric per-victim rounds, re-decide with the radius-1
+// pyramidal label verifier every round, and report rounds-to-recovery and
+// the exposure window. Everything derives from -fault-seed, so the table
+// replays exactly.
+func runSelfStab(model string, rate float64, seed int64, trials int) error {
+	if rate <= 0 || rate > 1 {
+		return fmt.Errorf("-fault-rate must be in (0, 1], got %v", rate)
+	}
+	var models []fault.LabelModel
+	if model == "labels" {
+		models = []fault.LabelModel{fault.Flip, fault.Swap, fault.Randomize}
+	} else {
+		m, err := fault.ParseLabelModel(model)
+		if err != nil {
+			return err
+		}
+		models = []fault.LabelModel{m}
+	}
+	if trials <= 0 {
+		trials = 20
+	}
+	p := halting.Params{Machine: turing.Counter(2, '0'), R: 1, MaxSteps: 100, FragmentLimit: 10}
+	asm, err := p.BuildPyramidalG()
+	if err != nil {
+		return err
+	}
+	dec := local.EngineObliviousDecider(p.PyramidalLabelVerifier())
+	cache := engine.NewViewCache()
+	fmt.Printf("self-stabilization: pyramidal G(%s, r=%d) n=%d rate=%.2f fault-seed=%d episodes=%d\n",
+		p.Machine.Name, p.R, asm.Labeled.N(), rate, seed, trials)
+	fmt.Printf("%-10s %9s %10s %12s %15s %17s\n",
+		"model", "episodes", "recovered", "mean rounds", "exposed rounds", "exposed episodes")
+	for i, m := range models {
+		sw, err := fault.RecoverySweep(asm.Labeled, fault.SelfStabConfig{
+			Model:   m,
+			Rate:    rate,
+			Decider: dec,
+			Options: engine.Options{EarlyExit: true, Cache: cache},
+		}, engine.TrialOptions{Trials: trials, Seed: seed + int64(i)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %9d %10s %12.2f %15d %17d\n",
+			m, sw.Episodes, fmt.Sprintf("%d/%d", sw.Trials.Accepted, sw.Episodes),
+			sw.MeanRecoveryRounds, sw.ExposedRounds, sw.ExposedEpisodes)
+	}
+	cs := cache.Stats()
+	fmt.Printf("cache: hits=%d misses=%d rejects=%d entries=%d\n", cs.Hits, cs.Misses, cs.Rejects, cs.Entries)
+	return nil
+}
+
+// runFaulty evaluates the chosen instance once under injected decider
+// crashes or message faults, showing the engine's recovery machinery: retry
+// counters, VerdictErrors (never misreported as accept or reject), and the
+// MessagePassing incomplete-view fallback.
+func runFaulty(mode string, l *graph.Labeled, alg local.ObliviousAlgorithm, graphKind, backend string, rate float64, seed int64, summary bool) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("-fault-rate must be in [0, 1], got %v", rate)
+	}
+	plan := &fault.Plan{Seed: seed}
+	var opts engine.Options
+	switch mode {
+	case "crash":
+		sched, err := buildScheduler(backend)
+		if err != nil {
+			return err
+		}
+		plan.Crash = &fault.CrashModel{Rate: rate}
+		opts = engine.Options{Scheduler: sched, Faults: plan}
+	case "messages":
+		if backend != "sequential" && backend != "mp" && backend != "message-passing" {
+			return fmt.Errorf("-faults messages runs on the message-passing backend, not %q", backend)
+		}
+		plan.Message = &fault.MessageModel{DropRate: rate, DuplicateRate: rate / 2, DelayRate: rate / 2}
+		opts = engine.Options{Scheduler: engine.MessagePassing, Faults: plan}
+	}
+	out := engine.EvalOblivious(local.EngineObliviousDecider(alg), l, opts)
+	fmt.Printf("graph=%s n=%d decider=%s backend=%s faults=%s rate=%.2f fault-seed=%d\n",
+		graphKind, l.N(), alg.Name(), out.Stats.Scheduler, mode, rate, seed)
+	if !summary && out.Verdicts != nil {
+		for v := 0; v < l.N(); v++ {
+			fmt.Printf("  node %3d  label=%-8q  verdict=%s\n", v, l.Labels[v], out.Verdicts[v])
+		}
+	}
+	switch {
+	case out.Err != nil:
+		fmt.Printf("globally UNDECIDED: %v\n", out.Err)
+	case out.Accepted:
+		fmt.Println("globally ACCEPTED (all nodes yes)")
+	default:
+		fmt.Println("globally REJECTED (some node said no)")
+	}
+	s := out.Stats
+	fmt.Printf("engine: workers=%d evaluated=%d crashes=%d retries=%d\n",
+		s.Workers, s.Evaluated, s.Crashes, s.Retries)
+	if mode == "messages" {
+		fmt.Printf("mp: rounds=%d messages=%d dropped=%d duplicated=%d delayed=%d retransmits=%d incompleteViews=%d timedOutRounds=%d\n",
+			s.Rounds, s.Messages, s.Dropped, s.Duplicated, s.Delayed, s.Retransmits,
+			s.IncompleteViews, s.TimedOutRounds)
+	}
+	for _, ve := range out.Errs {
+		fmt.Printf("  error: %v\n", ve)
+	}
 	return nil
 }
 

@@ -26,7 +26,8 @@ func main() {
 	yes := halting.Params{Machine: turing.Counter(3, '0'), R: 1, MaxSteps: 1000, FragmentLimit: 15}
 	asmYes, err := yes.BuildG()
 	must(err)
-	stats := yes.RejectionTrials(asmYes, engine.TrialOptions{Trials: 100, Seed: 1})
+	stats, err := yes.RejectionTrials(asmYes, engine.TrialOptions{Trials: 100, Seed: 1})
+	must(err)
 	fmt.Printf("yes-instance G(%s): acceptance rate %.3f, CI95 [%.3f, %.3f] (want 1.000)\n",
 		yes.Machine.Name, stats.Estimate, stats.CI.Low, stats.CI.High)
 
@@ -39,7 +40,8 @@ func main() {
 		p := halting.Params{Machine: turing.Counter(k, '1'), R: 1, MaxSteps: 1000, FragmentLimit: 15}
 		asm, err := p.BuildG()
 		must(err)
-		stats := p.RejectionTrials(asm, engine.TrialOptions{Trials: 100, Seed: 7})
+		stats, err := p.RejectionTrials(asm, engine.TrialOptions{Trials: 100, Seed: 7})
+		must(err)
 		reject := 1 - stats.Estimate
 		s := float64(k + 1)
 		n := float64(asm.Labeled.N())

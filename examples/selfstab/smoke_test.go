@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// Smoke test: the example must run end to end (it panics on any error).
+// Stdout is routed to /dev/null so `go test ./...` output stays readable;
+// the printed narrative is exercised, not asserted on.
+func TestExampleRuns(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	main()
+}

@@ -276,12 +276,17 @@ type PQDecider struct {
 }
 
 // EstimatePQ measures empirical acceptance probability on yes-instances and
-// rejection probability on no-instances over the suite.
-func EstimatePQ(d PQDecider, s *Suite, trials int, seed int64) (pHat, qHat float64) {
+// rejection probability on no-instances over the suite. The first trial-sweep
+// error aborts the estimate.
+func EstimatePQ(d PQDecider, s *Suite, trials int, seed int64) (pHat, qHat float64, err error) {
 	if len(s.Yes) > 0 {
 		total := 0.0
 		for _, l := range s.Yes {
-			total += local.EstimateAcceptance(d.Alg, l, trials, seed)
+			est, err := local.EstimateAcceptance(d.Alg, l, trials, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			total += est
 		}
 		pHat = total / float64(len(s.Yes))
 	} else {
@@ -290,13 +295,17 @@ func EstimatePQ(d PQDecider, s *Suite, trials int, seed int64) (pHat, qHat float
 	if len(s.No) > 0 {
 		total := 0.0
 		for _, l := range s.No {
-			total += 1 - local.EstimateAcceptance(d.Alg, l, trials, seed+1)
+			est, err := local.EstimateAcceptance(d.Alg, l, trials, seed+1)
+			if err != nil {
+				return 0, 0, err
+			}
+			total += 1 - est
 		}
 		qHat = total / float64(len(s.No))
 	} else {
 		qHat = 1
 	}
-	return pHat, qHat
+	return pHat, qHat, nil
 }
 
 // Promise problems ----------------------------------------------------------------

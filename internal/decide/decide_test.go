@@ -199,7 +199,10 @@ func TestEstimatePQ(t *testing.T) {
 		No:   []*graph.Labeled{graph.UniformlyLabeled(graph.Path(4), "c")},
 	}
 	d := PQDecider{Alg: alg, P: 1, Q: 0.5}
-	pHat, qHat := EstimatePQ(d, s, 300, 11)
+	pHat, qHat, err := EstimatePQ(d, s, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pHat != 1 {
 		t.Errorf("pHat = %v, want 1", pHat)
 	}
@@ -207,7 +210,10 @@ func TestEstimatePQ(t *testing.T) {
 		t.Errorf("qHat = %v, want >= 0.5 (path has 2 endpoints)", qHat)
 	}
 	// Empty suite sides default to 1.
-	pHat, qHat = EstimatePQ(d, &Suite{Name: "empty"}, 10, 1)
+	pHat, qHat, err = EstimatePQ(d, &Suite{Name: "empty"}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pHat != 1 || qHat != 1 {
 		t.Error("empty suite should default to 1")
 	}

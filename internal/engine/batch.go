@@ -82,7 +82,15 @@ func evalBatch(dec Decider, items []batchItem, opts Options) []Outcome {
 	}
 	jobs := make([]*job, len(items))
 	for i, it := range items {
-		j := newJob(dec, it.l, it.in, opts)
+		j, err := newJob(dec, it.l, it.in, opts)
+		if err != nil {
+			// Validation errors are a property of (decider, options): they
+			// fail every instance of the batch identically.
+			for k := range outcomes {
+				outcomes[k] = Outcome{Accepted: false, Err: err}
+			}
+			return outcomes
+		}
 		if j.cache != nil {
 			j.cache, j.shared = cache, shared
 		}
@@ -121,8 +129,7 @@ func evalBatch(dec Decider, items []batchItem, opts Options) []Outcome {
 		for i := range jobs {
 			j := jobs[i]
 			if j.n == 0 {
-				accepted[i] = true
-				continue
+				continue // surfaced as ErrEmptyInstance below, never an accept
 			}
 			if x == nil {
 				x = j.extractor()
@@ -149,7 +156,6 @@ func evalBatch(dec Decider, items []batchItem, opts Options) []Outcome {
 					}
 					j := jobs[i]
 					if j.n == 0 {
-						accepted[i] = true
 						continue
 					}
 					if x == nil {
@@ -166,8 +172,10 @@ func evalBatch(dec Decider, items []batchItem, opts Options) []Outcome {
 	for i, j := range jobs {
 		if j.n == 0 {
 			j.stats.Workers = 0
+			outcomes[i] = Outcome{Verdicts: j.verdicts, Accepted: false, Err: ErrEmptyInstance, Stats: j.stats}
+			continue
 		}
-		outcomes[i] = Outcome{Verdicts: j.verdicts, Accepted: accepted[i], Stats: j.stats}
+		outcomes[i] = j.outcome(accepted[i])
 	}
 	return outcomes
 }

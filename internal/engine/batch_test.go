@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -147,8 +148,8 @@ func TestEvalBatchDegenerate(t *testing.T) {
 	}
 	for _, sched := range []Scheduler{Sequential, Sharded} {
 		outs := EvalBatchOblivious(dec, batch, Options{Scheduler: sched})
-		if !outs[0].Accepted || outs[0].Stats.Workers != 0 {
-			t.Errorf("%s: empty graph must accept vacuously with 0 workers", sched.Name())
+		if outs[0].Accepted || !errors.Is(outs[0].Err, ErrEmptyInstance) || outs[0].Stats.Workers != 0 {
+			t.Errorf("%s: empty graph must surface ErrEmptyInstance with 0 workers, got %+v", sched.Name(), outs[0])
 		}
 		if !outs[1].Accepted || len(outs[1].Verdicts) != 5 {
 			t.Errorf("%s: 5-node path outcome malformed", sched.Name())

@@ -22,7 +22,11 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -67,14 +71,82 @@ type Decider struct {
 	DecideRand func(view *graph.View, rng *rand.Rand) Verdict
 }
 
+// MessageFate is an Injector's ruling on one directed message of the
+// MessagePassing backend: whether the message (eventually) arrives, how many
+// sends it took, how many extra copies are delivered, and how many rounds
+// late it lands. The zero value means "lost on the first send".
+type MessageFate struct {
+	// Delivered reports that some (re)transmission got through.
+	Delivered bool
+	// Attempts is the number of sends consumed, the successful one included
+	// (at least 1 whenever the fate was consulted).
+	Attempts int
+	// Duplicates is the number of extra copies delivered beyond the first.
+	Duplicates int
+	// Delay is the number of rounds the delivery lands late (0 = on time).
+	Delay int
+}
+
+// Injector decides the fate of fault-injection sites during an evaluation.
+// Implementations MUST be pure functions of their arguments (the engine may
+// consult the same site more than once and relies on getting the same
+// answer), which also makes every faulty run replayable from the injector's
+// seed. internal/fault provides the seed-derived implementation; the engine
+// only defines the contract.
+type Injector interface {
+	// CrashDecide reports whether the decider invocation for this node
+	// should crash on the given attempt (0-based). The engine retries up to
+	// Options.MaxAttempts times before recording a VerdictError.
+	CrashDecide(node, attempt int) bool
+	// MessageFate rules on the round-r message from one node to a
+	// neighbour in the MessagePassing backend.
+	MessageFate(round, from, to int) MessageFate
+}
+
+// VerdictError records a node whose verdict could not be computed: every
+// attempt crashed (injected or genuine panic). Errored nodes never count as
+// accepts — an Outcome carrying errors reports Accepted == false.
+type VerdictError struct {
+	// Node is the node whose evaluation failed.
+	Node int
+	// Attempts is the number of attempts made before giving up.
+	Attempts int
+	// Cause is the recovered panic of the final attempt.
+	Cause error
+}
+
+// Error implements the error interface.
+func (e VerdictError) Error() string {
+	return fmt.Sprintf("engine: node %d failed after %d attempt(s): %v", e.Node, e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the recovered cause.
+func (e VerdictError) Unwrap() error { return e.Cause }
+
+// ErrEmptyInstance is returned when an evaluation is asked to decide an
+// instance with no nodes. Unanimity over zero nodes is vacuous, and the
+// seed-era engine reported such instances as accepted — indistinguishable
+// from a genuine accept in early-exit aggregation. The engine now surfaces
+// the condition instead of guessing.
+var ErrEmptyInstance = errors.New("engine: empty instance (no nodes to decide)")
+
 // Outcome is the result of evaluating a decider on an instance.
 type Outcome struct {
 	// Verdicts holds the per-node verdicts, indexed by node. It is nil when
 	// the evaluation ran with Options.EarlyExit: early exit trades per-node
 	// output for the right to stop at the first reject.
 	Verdicts []Verdict
-	// Accepted is true iff every node output Yes.
+	// Accepted is true iff every node output Yes. It is always false when
+	// Err is non-nil: an instance with failed nodes is never reported
+	// accepted (and never silently rejected either — Err says why).
 	Accepted bool
+	// Errs lists the nodes whose evaluation failed after all retry
+	// attempts, sorted by node index. Empty on healthy runs.
+	Errs []VerdictError
+	// Err summarises why the outcome is unreliable: a validation error
+	// (malformed Decider or Options), ErrEmptyInstance, or the first
+	// VerdictError when nodes failed. Nil on healthy runs.
+	Err error
 	// Stats reports how the engine got there.
 	Stats Stats
 }
@@ -116,6 +188,29 @@ type Stats struct {
 	// Rounds is the number of synchronous rounds of the MessagePassing
 	// backend (equal to the horizon).
 	Rounds int
+	// Crashes counts decider invocations that crashed (injected or genuine
+	// panics, recovered by the engine); Retries counts the re-attempts those
+	// crashes triggered. A node whose every attempt crashed additionally
+	// appears in Outcome.Errs.
+	Crashes int
+	// Retries counts crash re-attempts (see Crashes).
+	Retries int
+	// Dropped, Duplicated, Delayed and Retransmits are filled by the
+	// MessagePassing backend under fault injection: messages lost after the
+	// retransmit budget, extra copies delivered, deliveries landing late,
+	// and retransmissions consumed.
+	Dropped     int
+	Duplicated  int
+	Delayed     int
+	Retransmits int
+	// IncompleteViews counts nodes whose flooding gather was incomplete
+	// (dropped/delayed messages anywhere in their dependency cone, or a
+	// round timeout) and that therefore fell back to extractor-based view
+	// evaluation — degraded but never wrong.
+	IncompleteViews int
+	// TimedOutRounds counts round-barrier timeouts observed by nodes
+	// (Options.RoundTimeout).
+	TimedOutRounds int
 }
 
 // Options tune one evaluation.
@@ -149,17 +244,70 @@ type Options struct {
 	EarlyExit bool
 	// Seed drives the per-node coin streams of randomized deciders.
 	Seed int64
+	// Faults, when set, injects deterministic faults into the evaluation:
+	// decider crashes on every scheduler, message drop/duplicate/delay on
+	// the MessagePassing backend. See Injector. Nil means a perfect world
+	// (the hooks stay compiled in but cost one nil check).
+	Faults Injector
+	// MaxAttempts bounds the per-node decide attempts when an attempt
+	// crashes (injected via Faults or a genuine decider panic). 0 means 3;
+	// negative is a validation error. After the last attempt the node is
+	// recorded as a VerdictError instead of killing the sweep.
+	MaxAttempts int
+	// RetryBackoff is the sleep before the first re-attempt of a crashed
+	// decide, doubling per further attempt. 0 means 100µs; negative
+	// disables backoff entirely (tests).
+	RetryBackoff time.Duration
+	// RoundTimeout bounds how long a MessagePassing node waits at each
+	// round barrier. 0 means wait forever (the lossless protocol cannot
+	// deadlock — every node reaches every barrier). A node that times out
+	// stops synchronising, declares its view incomplete and falls back to
+	// extractor-based evaluation: degradation, not a hang and not a wrong
+	// verdict.
+	RoundTimeout time.Duration
 }
 
 // Eval evaluates a decider on every node of an identifier-carrying instance.
+// A malformed decider or options yields Outcome{Accepted: false, Err: ...}
+// instead of a panic — library callers degrade gracefully; MustEval keeps the
+// panicking contract for call sites that want it.
 func Eval(dec Decider, in *graph.Instance, opts Options) Outcome {
-	return newJob(dec, in.Labeled, in, opts).run()
+	j, err := newJob(dec, in.Labeled, in, opts)
+	if err != nil {
+		return Outcome{Accepted: false, Err: err}
+	}
+	return j.run()
 }
 
 // EvalOblivious evaluates a decider on every node of a labelled graph with no
-// identifiers anywhere — the Id-oblivious regime.
+// identifiers anywhere — the Id-oblivious regime. Validation failures are
+// returned in Outcome.Err, as in Eval.
 func EvalOblivious(dec Decider, l *graph.Labeled, opts Options) Outcome {
-	return newJob(dec, l, nil, opts).run()
+	j, err := newJob(dec, l, nil, opts)
+	if err != nil {
+		return Outcome{Accepted: false, Err: err}
+	}
+	return j.run()
+}
+
+// MustEval is Eval panicking on any Outcome.Err — validation failures, empty
+// instances and node-level verdict errors alike. For call sites where a
+// failed evaluation is a programming error.
+func MustEval(dec Decider, in *graph.Instance, opts Options) Outcome {
+	out := Eval(dec, in, opts)
+	if out.Err != nil {
+		panic(out.Err)
+	}
+	return out
+}
+
+// MustEvalOblivious is EvalOblivious panicking on any Outcome.Err.
+func MustEvalOblivious(dec Decider, l *graph.Labeled, opts Options) Outcome {
+	out := EvalOblivious(dec, l, opts)
+	if out.Err != nil {
+		panic(out.Err)
+	}
+	return out
 }
 
 // job is one evaluation in flight: the resolved inputs plus the output
@@ -175,21 +323,40 @@ type job struct {
 	shared   bool       // cache came from Options.Cache (cross-run)
 	verdicts []Verdict
 	stats    Stats
+
+	faults      Injector
+	maxAttempts int
+	backoff     time.Duration
+
+	errMu sync.Mutex
+	errs  []VerdictError
 }
 
-func newJob(dec Decider, l *graph.Labeled, in *graph.Instance, opts Options) *job {
+func newJob(dec Decider, l *graph.Labeled, in *graph.Instance, opts Options) (*job, error) {
 	if (dec.Decide == nil) == (dec.DecideRand == nil) {
-		panic("engine: exactly one of Decide and DecideRand must be set")
+		return nil, errors.New("engine: exactly one of Decide and DecideRand must be set")
 	}
 	if dec.Horizon < 0 {
-		panic("engine: negative horizon")
+		return nil, fmt.Errorf("engine: negative horizon %d", dec.Horizon)
+	}
+	if opts.MaxAttempts < 0 {
+		return nil, fmt.Errorf("engine: negative MaxAttempts %d", opts.MaxAttempts)
 	}
 	j := &job{
-		dec:  dec,
-		l:    l,
-		in:   in,
-		opts: opts,
-		n:    l.N(),
+		dec:         dec,
+		l:           l,
+		in:          in,
+		opts:        opts,
+		n:           l.N(),
+		faults:      opts.Faults,
+		maxAttempts: opts.MaxAttempts,
+		backoff:     opts.RetryBackoff,
+	}
+	if j.maxAttempts == 0 {
+		j.maxAttempts = defaultMaxAttempts
+	}
+	if j.backoff == 0 {
+		j.backoff = defaultRetryBackoff
 	}
 	// Dedup (and hence any cache use) is sound only for deterministic
 	// deciders on identifier-free evaluations; the engine silently skips it
@@ -205,8 +372,16 @@ func newJob(dec Decider, l *graph.Labeled, in *graph.Instance, opts Options) *jo
 	if !opts.EarlyExit {
 		j.verdicts = make([]Verdict, j.n)
 	}
-	return j
+	return j, nil
 }
+
+// defaultMaxAttempts is the per-node attempt budget when Options leaves
+// MaxAttempts zero: one initial attempt plus two retries.
+const defaultMaxAttempts = 3
+
+// defaultRetryBackoff is the first-retry backoff when Options leaves
+// RetryBackoff zero. It doubles per further attempt.
+const defaultRetryBackoff = 100 * time.Microsecond
 
 // run dispatches to the scheduler and assembles the outcome.
 func (j *job) run() Outcome {
@@ -217,10 +392,26 @@ func (j *job) run() Outcome {
 	j.stats.Scheduler = sched.Name()
 	if j.n == 0 {
 		j.stats.Workers = 0
-		return Outcome{Verdicts: j.verdicts, Accepted: true, Stats: j.stats}
+		return Outcome{Verdicts: j.verdicts, Accepted: false, Err: ErrEmptyInstance, Stats: j.stats}
 	}
 	accepted := sched.run(j)
-	return Outcome{Verdicts: j.verdicts, Accepted: accepted, Stats: j.stats}
+	return j.outcome(accepted)
+}
+
+// outcome assembles the final Outcome after a scheduler run: node-level
+// failures (recorded by the guarded decide path) force Accepted to false and
+// surface as a sorted error list plus a summary Err — a sweep with failed
+// nodes is neither an accept nor a clean reject.
+func (j *job) outcome(accepted bool) Outcome {
+	out := Outcome{Verdicts: j.verdicts, Accepted: accepted, Stats: j.stats}
+	if len(j.errs) > 0 {
+		sortVerdictErrors(j.errs)
+		out.Errs = j.errs
+		out.Accepted = false
+		out.Err = fmt.Errorf("engine: %d node(s) failed all %d attempt(s); first: %w",
+			len(j.errs), j.maxAttempts, j.errs[0])
+	}
+	return out
 }
 
 // extractor builds the per-worker batched view extractor for this job.

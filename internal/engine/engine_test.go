@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -18,12 +19,18 @@ func degreeAtMost(k int) Decider {
 	}
 }
 
-func TestEmptyGraphAcceptsVacuously(t *testing.T) {
+// An instance with no nodes is an explicit error on every scheduler: the
+// seed-era vacuous accept made "we decided nothing" indistinguishable from
+// "every node said yes".
+func TestEmptyGraphIsAnError(t *testing.T) {
 	l := graph.UniformlyLabeled(graph.New(0), "")
 	for _, sched := range []Scheduler{Sequential, Sharded, MessagePassing} {
 		out := EvalOblivious(degreeAtMost(0), l, Options{Scheduler: sched})
-		if !out.Accepted {
-			t.Errorf("%s: empty graph should accept vacuously", sched.Name())
+		if out.Accepted {
+			t.Errorf("%s: empty graph must not read as accepted", sched.Name())
+		}
+		if !errors.Is(out.Err, ErrEmptyInstance) {
+			t.Errorf("%s: Err = %v, want ErrEmptyInstance", sched.Name(), out.Err)
 		}
 	}
 }
@@ -129,6 +136,8 @@ func TestRandomizedSeedDeterminism(t *testing.T) {
 	}
 }
 
+// Malformed deciders come back as Outcome.Err, not a panic; the panicking
+// behaviour survives only in MustEvalOblivious/MustEval.
 func TestDeciderValidation(t *testing.T) {
 	l := graph.UniformlyLabeled(graph.Path(3), "")
 	for _, dec := range []Decider{
@@ -137,13 +146,17 @@ func TestDeciderValidation(t *testing.T) {
 			Decide:     func(view *graph.View) Verdict { return Yes },
 			DecideRand: func(view *graph.View, rng *rand.Rand) Verdict { return Yes }},
 	} {
+		out := EvalOblivious(dec, l, Options{})
+		if out.Err == nil || out.Accepted {
+			t.Errorf("%s: Outcome = %+v, want validation error", dec.Name, out)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("%s: expected panic", dec.Name)
+					t.Errorf("%s: MustEvalOblivious expected panic", dec.Name)
 				}
 			}()
-			EvalOblivious(dec, l, Options{})
+			MustEvalOblivious(dec, l, Options{})
 		}()
 	}
 }

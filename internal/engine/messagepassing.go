@@ -64,6 +64,16 @@ type mpScheduler struct{}
 func (mpScheduler) Name() string { return "message-passing" }
 
 func (mpScheduler) run(j *job) bool {
+	// Fault injection or a round timeout switches to the hardened runtime
+	// (mpfaulty.go); the lossless path below stays byte-identical to the
+	// seed-era protocol apart from the guarded decide stage.
+	if j.faults != nil || j.opts.RoundTimeout > 0 {
+		return runMPFaulty(j)
+	}
+	return runMPLossless(j)
+}
+
+func runMPLossless(j *job) bool {
 	n := j.n
 	t := j.dec.Horizon
 	j.stats.Rounds = t
@@ -125,23 +135,30 @@ func (mpScheduler) run(j *job) bool {
 			// The protocol itself must run to completion (neighbours depend
 			// on this node's sends), but once a reject is known an
 			// early-exit evaluation skips the remaining decide calls.
+			crashes, retries := 0, 0
 			if !(j.opts.EarlyExit && rejected.Load()) {
-				view := assembleView(know, v, t)
-				if oblivious {
-					view.IDs = nil
-				}
-				verdict := j.decideView(view, v)
+				verdict, ok := j.guardedVerdict(v, &crashes, &retries, func() Verdict {
+					view := assembleView(know, v, t)
+					if oblivious {
+						view.IDs = nil
+					}
+					return j.decideView(view, v)
+				})
 				evaluated.Add(1)
-				if j.verdicts != nil {
-					j.verdicts[v] = verdict
-				}
-				if verdict == No {
-					rejected.Store(true)
+				if ok {
+					if j.verdicts != nil {
+						j.verdicts[v] = verdict
+					}
+					if verdict == No {
+						rejected.Store(true)
+					}
 				}
 			}
 			statsMu.Lock()
 			j.stats.Messages += sent
 			j.stats.KnowledgeUnits += units
+			j.stats.Crashes += crashes
+			j.stats.Retries += retries
 			statsMu.Unlock()
 		}(v)
 	}

@@ -121,8 +121,13 @@ func (j *job) runNodes(x *graph.ViewExtractor) bool {
 	accepted := true
 	inserted := 0
 	for v := 0; v < j.n; v++ {
-		view := x.At(v, j.dec.Horizon)
-		verdict := cachedVerdict(j, view, v, &j.stats.Evaluated, &j.stats.DedupHits, &inserted)
+		verdict, ok := j.evalNode(x, v,
+			&j.stats.Evaluated, &j.stats.DedupHits, &inserted, &j.stats.Crashes, &j.stats.Retries)
+		if !ok {
+			// All attempts crashed: recorded in j.errs; neither an accept
+			// nor a reject, so it must not trigger early exit.
+			continue
+		}
 		if j.verdicts != nil {
 			j.verdicts[v] = verdict
 		}
@@ -170,7 +175,7 @@ func (s shardedScheduler) run(j *job) bool {
 		go func() {
 			defer wg.Done()
 			x := j.extractor()
-			evaluated, hits, ins := 0, 0, 0
+			evaluated, hits, ins, crashes, retries := 0, 0, 0, 0, 0
 			for {
 				v := int(next.Add(1)) - 1
 				if v >= j.n {
@@ -179,8 +184,10 @@ func (s shardedScheduler) run(j *job) bool {
 				if j.opts.EarlyExit && rejected.Load() {
 					break
 				}
-				view := x.At(v, j.dec.Horizon)
-				verdict := cachedVerdict(j, view, v, &evaluated, &hits, &ins)
+				verdict, ok := j.evalNode(x, v, &evaluated, &hits, &ins, &crashes, &retries)
+				if !ok {
+					continue // recorded in j.errs; not a reject
+				}
 				if j.verdicts != nil {
 					j.verdicts[v] = verdict
 				}
@@ -191,6 +198,8 @@ func (s shardedScheduler) run(j *job) bool {
 			mu.Lock()
 			j.stats.Evaluated += evaluated
 			j.stats.DedupHits += hits
+			j.stats.Crashes += crashes
+			j.stats.Retries += retries
 			inserted += ins
 			mu.Unlock()
 		}()

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -177,14 +179,16 @@ type TrialStats struct {
 	Verdicts []Verdict
 }
 
-// ValidateTrials panics unless the trial count is positive. It is the shared
-// validation of every trial entry point (engine.EvalTrials,
-// local.EstimateAcceptance, halting.EstimateRejection), keeping the panic
-// message consistent across layers.
-func ValidateTrials(trials int) {
+// ValidateTrials reports an error unless the trial count is positive. It is
+// the shared validation of every trial entry point (engine.EvalTrials,
+// local.EstimateAcceptance, halting.EstimateRejection), keeping the message
+// consistent across layers. It used to panic; library paths now degrade
+// gracefully and only the Must* wrappers re-panic.
+func ValidateTrials(trials int) error {
 	if trials < 1 {
-		panic("engine: trials must be positive")
+		return fmt.Errorf("engine: trials must be positive, got %d", trials)
 	}
+	return nil
 }
 
 // WilsonInterval returns the Wilson score interval for accepted successes
@@ -205,6 +209,8 @@ func WilsonInterval(accepted, trials int, confidence float64) Interval {
 }
 
 // zScore converts a two-sided confidence level to the normal quantile z.
+// Callers that accept external input validate through validConfidence first;
+// the panic here only guards WilsonInterval's documented contract.
 func zScore(confidence float64) float64 {
 	if confidence == 0 {
 		confidence = defaultConfidence
@@ -213,6 +219,15 @@ func zScore(confidence float64) float64 {
 		panic("engine: confidence must be in (0, 1)")
 	}
 	return math.Sqrt2 * math.Erfinv(confidence)
+}
+
+// validConfidence checks a confidence level (0 meaning the default) without
+// panicking.
+func validConfidence(confidence float64) error {
+	if confidence != 0 && (confidence <= 0 || confidence >= 1) {
+		return fmt.Errorf("engine: confidence must be in (0, 1), got %v", confidence)
+	}
+	return nil
 }
 
 // defaultConfidence is the confidence level used when TrialOptions leaves it
@@ -234,19 +249,35 @@ const defaultMinTrials = 16
 // evaluated only on committed prefixes — so Trials, Estimate, CI and the
 // per-trial verdict sequence are identical for every worker count, and any
 // single trial can be replayed via TrialSeed.
-func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) TrialStats {
+//
+// Malformed deciders or options are returned as errors (the historical
+// panics live on only in MustEvalTrials). A trial whose decider panics is
+// recovered: the sweep stops, and the statistics of the committed in-order
+// prefix are returned alongside the error — partial data, clearly flagged,
+// instead of a dead process.
+func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) (TrialStats, error) {
 	if dec.DecideRand == nil {
-		panic("engine: TrialDecider.DecideRand must be set")
+		return TrialStats{}, errors.New("engine: TrialDecider.DecideRand must be set")
 	}
 	if dec.Horizon < 0 {
-		panic("engine: negative horizon")
+		return TrialStats{}, fmt.Errorf("engine: negative horizon %d", dec.Horizon)
 	}
-	ValidateTrials(opts.Trials)
+	if err := ValidateTrials(opts.Trials); err != nil {
+		return TrialStats{}, err
+	}
+	if err := validConfidence(opts.Confidence); err != nil {
+		return TrialStats{}, err
+	}
+	if opts.AdaptiveStop && (opts.Threshold < 0 || opts.Threshold > 1 || math.IsNaN(opts.Threshold)) {
+		return TrialStats{}, fmt.Errorf("engine: adaptive-stop threshold must be in [0, 1], got %v", opts.Threshold)
+	}
+	if l.N() == 0 {
+		return TrialStats{}, ErrEmptyInstance
+	}
 	confidence := opts.Confidence
 	if confidence == 0 {
 		confidence = defaultConfidence
 	}
-	zScore(confidence) // validate eagerly
 	minTrials := opts.MinTrials
 	if minTrials <= 0 {
 		minTrials = defaultMinTrials
@@ -271,13 +302,18 @@ func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) TrialStat
 		prefix := Decider{Name: dec.Name + "/prefix", Horizon: dec.Horizon, Decide: dec.Prefix}
 		out := EvalOblivious(prefix, l, Options{Scheduler: sched, Dedup: dec.PrefixDedup, EarlyExit: true})
 		stats.PrefixStats = out.Stats
+		if out.Err != nil {
+			// A crashed or invalid prefix evaluation is not a rejection: the
+			// sweep's premise failed, so surface the error with no trials.
+			return stats, fmt.Errorf("engine: prefix evaluation failed: %w", out.Err)
+		}
 		if !out.Accepted {
 			stats.PrefixRejected = true
 			stats.Trials = opts.Trials
 			stats.Verdicts = make([]Verdict, opts.Trials) // all No
 			stats.Estimate = 0
 			stats.CI = WilsonInterval(0, opts.Trials, confidence)
-			return stats
+			return stats, nil
 		}
 	}
 
@@ -293,6 +329,7 @@ func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) TrialStat
 		accepted  int
 		stopped   bool
 		evaluated int
+		sweepErr  error
 	)
 
 	// commit folds newly finished trials into the in-order prefix and
@@ -315,6 +352,31 @@ func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) TrialStat
 		}
 	}
 
+	// runTrial is one trial's coin-stage evaluation, guarded: a decider panic
+	// becomes a returned error instead of killing the sweep's process.
+	runTrial := func(t int, x *graph.ViewExtractor, coins *rand.Rand, decided *int) (verdict Verdict, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("engine: trial %d: decider panicked: %v", t, r)
+			}
+		}()
+		tseed := TrialSeed(opts.Seed, t)
+		verdict = Yes
+		for v := 0; v < n; v++ {
+			coins.Seed(streamSeed(tseed, v))
+			var view *graph.View
+			if x != nil {
+				view = x.At(v, dec.Horizon)
+			}
+			*decided++
+			if dec.DecideRand(view, coins) == No {
+				verdict = No
+				break
+			}
+		}
+		return verdict, nil
+	}
+
 	worker := func() {
 		var x *graph.ViewExtractor
 		if n > 0 && !dec.RandIgnoresView {
@@ -327,21 +389,18 @@ func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) TrialStat
 			if t >= opts.Trials || stop.Load() {
 				break
 			}
-			tseed := TrialSeed(opts.Seed, t)
-			verdict := Yes
-			for v := 0; v < n; v++ {
-				coins.Seed(streamSeed(tseed, v))
-				var view *graph.View
-				if x != nil {
-					view = x.At(v, dec.Horizon)
-				}
-				decided++
-				if dec.DecideRand(view, coins) == No {
-					verdict = No
-					break
-				}
-			}
+			verdict, err := runTrial(t, x, coins, &decided)
 			mu.Lock()
+			if err != nil {
+				// First error wins; the sweep stops and the committed in-order
+				// prefix is what the caller gets back.
+				if sweepErr == nil {
+					sweepErr = err
+				}
+				stop.Store(true)
+				mu.Unlock()
+				break
+			}
 			done[t], verdicts[t] = true, verdict
 			commit()
 			mu.Unlock()
@@ -367,10 +426,24 @@ func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) TrialStat
 
 	stats.Trials = committed
 	stats.Accepted = accepted
-	stats.Estimate = float64(accepted) / float64(committed)
+	if committed > 0 {
+		stats.Estimate = float64(accepted) / float64(committed)
+	}
 	stats.CI = WilsonInterval(accepted, committed, confidence)
 	stats.Stopped = stopped
 	stats.Evaluated = evaluated
 	stats.Verdicts = verdicts[:committed]
+	return stats, sweepErr
+}
+
+// MustEvalTrials is EvalTrials for callers that treat malformed input or a
+// crashing decider as a programming error: it panics on any error and
+// otherwise returns the statistics. The seed-era panicking behaviour lives
+// here; library paths should call EvalTrials and propagate.
+func MustEvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) TrialStats {
+	stats, err := EvalTrials(dec, l, opts)
+	if err != nil {
+		panic(err)
+	}
 	return stats
 }

@@ -72,7 +72,11 @@ func TestTrialParityAgainstSequentialLoop(t *testing.T) {
 				}
 			}
 			for _, workers := range []int{1, 4} {
-				stats := EvalTrials(trialParityDecider, l, TrialOptions{Trials: trials, Seed: seed, Workers: workers})
+				stats, err := EvalTrials(trialParityDecider, l, TrialOptions{Trials: trials, Seed: seed, Workers: workers})
+				if err != nil {
+					t.Logf("seed=%d workers=%d: %v", seed, workers, err)
+					return false
+				}
 				if len(stats.Verdicts) != trials {
 					t.Logf("seed=%d workers=%d: %d verdicts, want %d", seed, workers, len(stats.Verdicts), trials)
 					return false
@@ -113,7 +117,10 @@ func TestTrialsSharePrefixResult(t *testing.T) {
 			return Verdict(rng.Intn(64) != 0)
 		},
 	}
-	stats := EvalTrials(dec, l, TrialOptions{Trials: 200, Seed: 3, Workers: 8})
+	stats, err := EvalTrials(dec, l, TrialOptions{Trials: 200, Seed: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Dedup collapses the uniform cycle's views, so the prefix decides far
 	// fewer views than nodes — and in all cases at most one evaluation's
 	// worth, not one per trial.

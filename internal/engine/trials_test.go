@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/graph"
@@ -55,11 +57,17 @@ func TestEvalTrialsWorkerInvariance(t *testing.T) {
 		dec := TrialDecider{Name: "coin16", Horizon: 1, DecideRand: trialCoin(16)}
 		base := opts
 		base.Workers = 1
-		want := EvalTrials(dec, l, base)
+		want, err := EvalTrials(dec, l, base)
+		if err != nil {
+			t.Fatalf("sequential sweep: %v", err)
+		}
 		for _, workers := range []int{2, 3, 8} {
 			o := opts
 			o.Workers = workers
-			got := EvalTrials(dec, l, o)
+			got, err := EvalTrials(dec, l, o)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
 			if got.Trials != want.Trials || got.Accepted != want.Accepted ||
 				got.Estimate != want.Estimate || got.CI != want.CI || got.Stopped != want.Stopped {
 				t.Fatalf("workers=%d: stats %+v diverge from sequential %+v", workers, got, want)
@@ -80,7 +88,10 @@ func TestEvalTrialsAdaptiveStop(t *testing.T) {
 	l := graph.UniformlyLabeled(graph.Cycle(8), "u")
 	dec := TrialDecider{Name: "coin2", Horizon: 0, DecideRand: trialCoin(2)}
 	// Acceptance ≈ 0.5^8 ≈ 0.004, threshold 0.9: separation is immediate.
-	stats := EvalTrials(dec, l, TrialOptions{Trials: 10000, Seed: 1, AdaptiveStop: true, Threshold: 0.9})
+	stats, err := EvalTrials(dec, l, TrialOptions{Trials: 10000, Seed: 1, AdaptiveStop: true, Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !stats.Stopped || stats.Trials == 10000 {
 		t.Fatalf("sweep did not stop early: %+v", stats)
 	}
@@ -92,7 +103,10 @@ func TestEvalTrialsAdaptiveStop(t *testing.T) {
 	}
 	// Threshold placed on the estimate itself: must run to the cap.
 	p := math.Pow(0.5, 8)
-	stats = EvalTrials(dec, l, TrialOptions{Trials: 50, Seed: 1, AdaptiveStop: true, Threshold: p})
+	stats, err = EvalTrials(dec, l, TrialOptions{Trials: 50, Seed: 1, AdaptiveStop: true, Threshold: p})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Stopped && stats.CI.Low <= p && p <= stats.CI.High {
 		t.Fatalf("stopped while the interval straddles the threshold: %+v", stats)
 	}
@@ -112,7 +126,10 @@ func TestEvalTrialsPrefixRejects(t *testing.T) {
 			return No
 		},
 	}
-	stats := EvalTrials(dec, l, TrialOptions{Trials: 30, Seed: 5})
+	stats, err := EvalTrials(dec, l, TrialOptions{Trials: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !stats.PrefixRejected || stats.Trials != 30 || stats.Accepted != 0 || stats.Estimate != 0 {
 		t.Fatalf("prefix rejection stats wrong: %+v", stats)
 	}
@@ -129,37 +146,78 @@ func TestEvalTrialsPrefixRejects(t *testing.T) {
 	}
 }
 
-// An empty instance accepts vacuously on every trial.
+// An empty instance is an explicit error, not a silent vacuous accept: the
+// historical behaviour reported Estimate = 1 for a sweep that decided
+// nothing, indistinguishable from a genuine all-yes instance.
 func TestEvalTrialsEmptyGraph(t *testing.T) {
 	l := graph.UniformlyLabeled(graph.New(0), "")
 	dec := TrialDecider{Name: "coin", Horizon: 0, DecideRand: trialCoin(2)}
-	stats := EvalTrials(dec, l, TrialOptions{Trials: 10, Seed: 1})
-	if stats.Accepted != 10 || stats.Estimate != 1 {
-		t.Fatalf("empty graph: %+v", stats)
+	stats, err := EvalTrials(dec, l, TrialOptions{Trials: 10, Seed: 1})
+	if !errors.Is(err, ErrEmptyInstance) {
+		t.Fatalf("empty graph: err = %v, want ErrEmptyInstance", err)
+	}
+	if stats.Trials != 0 || stats.Accepted != 0 || stats.Estimate != 0 {
+		t.Fatalf("empty graph returned non-zero stats: %+v", stats)
 	}
 }
 
+// Malformed deciders and options come back as errors with zero stats; the
+// historical panics survive only behind MustEvalTrials.
 func TestEvalTrialsValidation(t *testing.T) {
 	l := graph.UniformlyLabeled(graph.Cycle(3), "u")
-	expectPanic := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		f()
+	expectErr := func(name string, dec TrialDecider, opts TrialOptions) {
+		t.Helper()
+		if _, err := EvalTrials(dec, l, opts); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
 	dec := TrialDecider{Name: "c", Horizon: 0, DecideRand: trialCoin(2)}
-	expectPanic("zero trials", func() { EvalTrials(dec, l, TrialOptions{Trials: 0}) })
-	expectPanic("nil DecideRand", func() {
-		EvalTrials(TrialDecider{Name: "x", Horizon: 0}, l, TrialOptions{Trials: 1})
-	})
-	expectPanic("negative horizon", func() {
-		EvalTrials(TrialDecider{Name: "x", Horizon: -1, DecideRand: trialCoin(2)}, l, TrialOptions{Trials: 1})
-	})
-	expectPanic("bad confidence", func() {
-		EvalTrials(dec, l, TrialOptions{Trials: 1, Confidence: 1.5})
-	})
+	expectErr("zero trials", dec, TrialOptions{Trials: 0})
+	expectErr("nil DecideRand", TrialDecider{Name: "x", Horizon: 0}, TrialOptions{Trials: 1})
+	expectErr("negative horizon", TrialDecider{Name: "x", Horizon: -1, DecideRand: trialCoin(2)}, TrialOptions{Trials: 1})
+	expectErr("bad confidence", dec, TrialOptions{Trials: 1, Confidence: 1.5})
+	expectErr("bad threshold", dec, TrialOptions{Trials: 1, AdaptiveStop: true, Threshold: 1.5})
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustEvalTrials: expected panic on invalid options")
+			}
+		}()
+		MustEvalTrials(dec, l, TrialOptions{Trials: 0})
+	}()
+}
+
+// A decider that panics mid-sweep must not kill the process: the sweep stops,
+// the committed in-order prefix comes back, and the panic surfaces as the
+// returned error.
+func TestEvalTrialsDeciderPanicRecovered(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.Cycle(4), "u")
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		dec := TrialDecider{
+			Name:    "crashy",
+			Horizon: 0,
+			DecideRand: func(_ *graph.View, rng *rand.Rand) Verdict {
+				if calls.Add(1) > 20 {
+					panic("injected decider crash")
+				}
+				rng.Intn(2)
+				return Yes
+			},
+			RandIgnoresView: true,
+		}
+		stats, err := EvalTrials(dec, l, TrialOptions{Trials: 1000, Seed: 3, Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error from panicking decider", workers)
+		}
+		if stats.Trials >= 1000 {
+			t.Fatalf("workers=%d: sweep did not stop after the panic: %+v", workers, stats)
+		}
+		if stats.Trials != stats.Accepted {
+			t.Fatalf("workers=%d: committed prefix inconsistent: %+v", workers, stats)
+		}
+	}
 }
 
 // Stream independence (the truncated-constant regression): the seed-era

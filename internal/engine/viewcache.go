@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -31,6 +32,72 @@ import (
 // the caller's.
 type ViewCache struct {
 	shards [cacheShardCount]cacheShard
+
+	// hits/misses/rejects are the observability counters behind Stats():
+	// verdicts served from the cache, verdicts the cache had to compute, and
+	// entries evicted by the integrity guard. Atomic so readers never block
+	// the striped shard locks.
+	hits    atomic.Int64
+	misses  atomic.Int64
+	rejects atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of a ViewCache's counters.
+type CacheStats struct {
+	// Hits counts lookups served from the cache (raw or canonical layer).
+	Hits int64
+	// Misses counts lookups that had to compute the verdict.
+	Misses int64
+	// Rejects counts entries discarded by the integrity guard: stored code
+	// bytes that no longer hash to their bucket fingerprint (corruption).
+	// Each reject degrades to a miss, never to a wrong verdict.
+	Rejects int64
+	// Entries is the cache's canonical-verdict entry count (Len).
+	Entries int
+}
+
+// Stats snapshots the cache's hit/miss/reject counters and entry count. The
+// counters accumulate across every evaluation sharing the cache; resident
+// services (and localsim -summary) read them for observability.
+func (c *ViewCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Rejects: c.rejects.Load(),
+		Entries: c.Len(),
+	}
+}
+
+// verifyEntries is the integrity guard: it re-hashes every candidate entry's
+// stored code bytes against the hash recorded when the entry was inserted and
+// evicts entries that fail — a corrupted entry (torn write, stray memory
+// corruption, a future persistence layer's bad read) becomes a counted reject
+// and a recompute, never a poisoned verdict shared across runs. The recorded
+// hash is the entry's own byte hash, not the bucket fingerprint, so genuine
+// fingerprint collisions (different bytes, same bucket) verify cleanly.
+// Callers hold the shard lock. It returns the surviving entry slice.
+func (c *ViewCache) verifyEntries(s *cacheShard, key cacheKey) []cacheEntry {
+	entries := s.m[key]
+	for i := 0; i < len(entries); {
+		if graph.Fingerprint(entries[i].code) != entries[i].sum {
+			entries[i] = entries[len(entries)-1]
+			entries = entries[:len(entries)-1]
+			if key.raw {
+				s.rawEntries--
+			} else {
+				s.entries--
+			}
+			c.rejects.Add(1)
+			continue
+		}
+		i++
+	}
+	if len(entries) == 0 {
+		delete(s.m, key)
+		return nil
+	}
+	s.m[key] = entries
+	return entries
 }
 
 // cacheShardCount is a power of two so shard selection is a mask. 64 shards
@@ -67,6 +134,7 @@ type cacheKey struct {
 
 type cacheEntry struct {
 	code    []byte // full code bytes (canonical or raw): collision verification
+	sum     uint64 // hash of code at insert time: the integrity guard's reference
 	verdict Verdict
 }
 
@@ -110,13 +178,15 @@ func (c *ViewCache) lookupOrCompute(decider string, horizon int, code graph.Code
 	s := &c.shards[code.Fingerprint&(cacheShardCount-1)]
 	key := cacheKey{decider: decider, horizon: horizon, fp: code.Fingerprint}
 	s.mu.Lock()
-	for _, e := range s.m[key] {
+	for _, e := range c.verifyEntries(s, key) {
 		if bytes.Equal(e.code, code.Bytes) {
 			verdict = e.verdict
 			s.mu.Unlock()
+			c.hits.Add(1)
 			return verdict, false, false
 		}
 	}
+	c.misses.Add(1)
 	if s.entries >= cacheShardMaxEntries {
 		s.mu.Unlock()
 		return compute(), true, false
@@ -124,7 +194,7 @@ func (c *ViewCache) lookupOrCompute(decider string, horizon int, code graph.Code
 	defer s.mu.Unlock()
 	owned := append([]byte(nil), code.Bytes...)
 	verdict = compute()
-	s.m[key] = append(s.m[key], cacheEntry{code: owned, verdict: verdict})
+	s.m[key] = append(s.m[key], cacheEntry{code: owned, sum: graph.Fingerprint(owned), verdict: verdict})
 	s.entries++
 	return verdict, true, true
 }
@@ -140,11 +210,14 @@ func (c *ViewCache) lookupRaw(decider string, horizon int, raw graph.Code) (Verd
 	key := cacheKey{decider: decider, horizon: horizon, fp: raw.Fingerprint, raw: true}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, e := range s.m[key] {
+	for _, e := range c.verifyEntries(s, key) {
 		if bytes.Equal(e.code, raw.Bytes) {
+			c.hits.Add(1)
 			return e.verdict, true
 		}
 	}
+	// A raw miss is not counted: the caller falls through to the canonical
+	// layer, whose lookup tallies the hit or miss for the whole decision.
 	return No, false
 }
 
@@ -165,6 +238,7 @@ func (c *ViewCache) storeRaw(decider string, horizon int, raw graph.Code, verdic
 			return // another worker stored it first
 		}
 	}
-	s.m[key] = append(s.m[key], cacheEntry{code: append([]byte(nil), raw.Bytes...), verdict: verdict})
+	owned := append([]byte(nil), raw.Bytes...)
+	s.m[key] = append(s.m[key], cacheEntry{code: owned, sum: graph.Fingerprint(owned), verdict: verdict})
 	s.rawEntries++
 }

@@ -39,7 +39,10 @@ func RunE14(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		yesStats := yes.RejectionTrials(asmYes, engine.TrialOptions{Trials: trials, Seed: cfg.Seed})
+		yesStats, err := yes.RejectionTrials(asmYes, engine.TrialOptions{Trials: trials, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
 		p := yesStats.Estimate
 
 		no := halting.Params{Machine: turing.Counter(k, '1'), R: 1, MaxSteps: 500, FragmentLimit: 10}
@@ -47,7 +50,10 @@ func RunE14(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		noStats := no.RejectionTrials(asmNo, engine.TrialOptions{Trials: trials, Seed: cfg.Seed + 1})
+		noStats, err := no.RejectionTrials(asmNo, engine.TrialOptions{Trials: trials, Seed: cfg.Seed + 1})
+		if err != nil {
+			return nil, err
+		}
 		q := 1 - noStats.Estimate
 
 		sum := p*p + q

@@ -279,7 +279,10 @@ func RunE10(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: cfg.Seed})
+		stats, err := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
 		// The engine estimates acceptance; mirror the interval for rejection.
 		reject := 1 - stats.Estimate
 		rejectCI := engine.Interval{Low: 1 - stats.CI.High, High: 1 - stats.CI.Low}

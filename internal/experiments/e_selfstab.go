@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/halting"
+	"repro/internal/local"
+	"repro/internal/turing"
+)
+
+// RunE16 measures self-stabilizing decision on the pyramidal G(M, r): labels
+// of a decided (accepting) instance are corrupted under each fault model,
+// then healed over geometric per-victim heal rounds while the radius-1
+// pyramidal label verifier re-evaluates every round. Two numbers per
+// (model, rate) cell: rounds-to-recovery (how long until the fully healed
+// instance reads as accepted again — always within the heal budget, since
+// healing restores the original instance) and exposure (rounds in which the
+// still-corrupted instance read as ACCEPTED — committed wrong verdicts).
+//
+// The fault models form an exposure gradient the verifier prices exactly:
+// Randomize breaks the label grammar at every victim (zero exposure by
+// construction), Flip replaces labels with other legal labels (mostly but
+// not always caught by the orientation check), and Swap exchanges labels —
+// swapping two equal labels is invisible to ANY label-reading verifier, so
+// swap exposure is structural, not a verifier bug.
+func RunE16(cfg Config) (*Result, error) {
+	trials := 30
+	if cfg.Quick {
+		trials = 10
+	}
+	res := &Result{
+		ID:     "E16",
+		Title:  "Self-stabilization: verdict recovery and exposure under label corruption",
+		Header: []string{"model", "rate", "episodes", "recovered", "CI95 low", "mean rounds", "exposed rounds", "exposed episodes"},
+		OK:     true,
+	}
+	// Counter(2) has runtime 3, table side 4 = 2^2: the pyramidal family's
+	// canonical small instance.
+	p := halting.Params{Machine: turing.Counter(2, '0'), R: 1, MaxSteps: 100, FragmentLimit: 10}
+	asm, err := p.BuildPyramidalG()
+	if err != nil {
+		return nil, err
+	}
+	dec := local.EngineObliviousDecider(p.PyramidalLabelVerifier())
+	cache := engine.NewViewCache()
+	seedStep := int64(0)
+	for _, model := range []fault.LabelModel{fault.Flip, fault.Swap, fault.Randomize} {
+		for _, rate := range []float64{0.02, 0.10} {
+			seedStep++
+			sw, err := fault.RecoverySweep(asm.Labeled, fault.SelfStabConfig{
+				Model:   model,
+				Rate:    rate,
+				Decider: dec,
+				Options: engine.Options{EarlyExit: true, Cache: cache},
+			}, engine.TrialOptions{Trials: trials, Seed: cfg.Seed + seedStep})
+			if err != nil {
+				return nil, err
+			}
+			// Healing is capped at the budget and restores the original
+			// accepting instance, so every episode must recover.
+			if sw.Trials.Estimate != 1 {
+				res.OK = false
+			}
+			// Randomize breaks the label grammar at every victim: the
+			// verifier must never accept while corrupted.
+			if model == fault.Randomize && sw.ExposedRounds != 0 {
+				res.OK = false
+			}
+			res.Rows = append(res.Rows, []string{
+				model.String(), fmtFloat(rate), fmt.Sprint(sw.Episodes),
+				fmtFloat(sw.Trials.Estimate), fmtFloat(sw.Trials.CI.Low),
+				fmtFloat(sw.MeanRecoveryRounds),
+				fmt.Sprint(sw.ExposedRounds), fmt.Sprint(sw.ExposedEpisodes),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"every episode must recover: heal times are capped at the budget and healing restores the accepting instance",
+		"randomize exposure must be 0: garbage labels fail the (M,r) parse at every victim",
+		"swap exposure is structural: exchanging equal labels is invisible to any label-reading verifier",
+		"all fault draws derive from the seed via per-site splitmix64 streams; the table replays exactly")
+	return res, nil
+}

@@ -59,6 +59,7 @@ func Registry() []Experiment {
 		{ID: "E13", Title: "Ablation: view-based vs goroutine message-passing LOCAL runtime", Run: RunE13},
 		{ID: "E14", Title: "Extension (§3.3): the hereditary randomisation threshold fails for general languages", Run: RunE14},
 		{ID: "E15", Title: "Extension (§1.3): the PO model — constructive power without size information", Run: RunE15},
+		{ID: "E16", Title: "Self-stabilization: verdict recovery under label corruption and healing", Run: RunE16},
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 15 {
-		t.Fatalf("registry has %d experiments, want 15 (E1-E15)", len(reg))
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16 (E1-E16)", len(reg))
 	}
 	seen := make(map[string]struct{})
 	for i, e := range reg {

@@ -84,6 +84,12 @@ func fingerprint64(b []byte) uint64 {
 	return h
 }
 
+// Fingerprint is the exported code-fingerprint function: FNV-1a over b,
+// bit-identical to the Fingerprint field every Code carries for its Bytes.
+// The engine's verdict-cache integrity guard re-hashes stored code bytes
+// through it to detect corrupted entries.
+func Fingerprint(b []byte) uint64 { return fingerprint64(b) }
+
 // fingerprint64Scalar is the byte-at-a-time FNV-1a reference the unrolled
 // word loop is pinned against.
 func fingerprint64Scalar(b []byte) uint64 {

@@ -434,17 +434,21 @@ func (p Params) TrialDecider() engine.TrialDecider {
 // RejectionTrials runs the Corollary 1 decider over a Monte Carlo sweep and
 // returns the engine's trial statistics. Note the engine estimates
 // ACCEPTANCE probability; the rejection rate of Corollary 1's analysis is
-// 1 - Estimate, with the confidence interval mirrored accordingly.
-func (p Params) RejectionTrials(asm *Assembly, opts engine.TrialOptions) engine.TrialStats {
+// 1 - Estimate, with the confidence interval mirrored accordingly. Malformed
+// options and crashing deciders come back as errors.
+func (p Params) RejectionTrials(asm *Assembly, opts engine.TrialOptions) (engine.TrialStats, error) {
 	return engine.EvalTrials(p.TrialDecider(), asm.Labeled, opts)
 }
 
 // EstimateRejection estimates the probability that the Corollary 1 decider
 // rejects the given assembly, over `trials` independent coin sequences —
 // the fixed-trial-count wrapper over RejectionTrials.
-func (p Params) EstimateRejection(asm *Assembly, trials int, seed int64) float64 {
-	engine.ValidateTrials(trials)
-	return 1 - p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed}).Estimate
+func (p Params) EstimateRejection(asm *Assembly, trials int, seed int64) (float64, error) {
+	stats, err := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	return 1 - stats.Estimate, nil
 }
 
 // Separation algorithm ---------------------------------------------------------

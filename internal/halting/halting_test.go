@@ -487,7 +487,10 @@ func TestRandomizedDeciderCorollary1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc := local.EstimateAcceptance(yes.RandomizedDecider(), asmYes.Labeled, 20, 3)
+	acc, err := local.EstimateAcceptance(yes.RandomizedDecider(), asmYes.Labeled, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc != 1 {
 		t.Errorf("yes-instance acceptance = %v, want 1", acc)
 	}
@@ -499,7 +502,10 @@ func TestRandomizedDeciderCorollary1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc = local.EstimateAcceptance(no.RandomizedDecider(), asmNo.Labeled, 20, 3)
+	acc, err = local.EstimateAcceptance(no.RandomizedDecider(), asmNo.Labeled, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc != 0 {
 		t.Errorf("no-instance acceptance = %v, want 0", acc)
 	}

@@ -1,0 +1,65 @@
+package halting
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// PyramidalLabelVerifier returns a radius-1 Id-oblivious label-sanity
+// verifier for the pyramidal G(M, r): the self-stabilization experiment's
+// subject. It checks, per node,
+//
+//  1. every label in the view is either a parseable cell label (the (M, r)
+//     prefix plus cell content and mod-3 orientation) or the universal
+//     pyramid label, and
+//  2. adjacent parseable labels never differ in BOTH mod-3 coordinates —
+//     grid edges move one step along one axis (exactly one coordinate
+//     changes), and pivot-glue edges connect border copies that may agree in
+//     both; no legal edge of the construction changes both at once.
+//
+// The verifier is deliberately weaker than StructureVerifier: it reads only
+// labels, not the window relation, so it prices the exposure gradient of the
+// fault models — Randomize breaks (1) at every victim, Flip usually breaks
+// (1) or (2), and a Swap between equal labels is invisible by construction.
+func (p Params) PyramidalLabelVerifier() local.ObliviousAlgorithm {
+	name := fmt.Sprintf("pyr-label-verifier(%s,r=%d)", p.Machine.Name, p.R)
+	pyr := p.PyrLabel()
+	gv := &gVerifier{p: p, prefix: p.GMLabel() + "|"}
+	return local.ObliviousFunc(name, 1, func(view *graph.View) local.Verdict {
+		n := view.G.N()
+		// Parse every label once; -1 in the coordinate slot marks pyramid
+		// nodes (no orientation to compare).
+		type coord struct{ x, y int }
+		coords := make([]coord, n)
+		for v := 0; v < n; v++ {
+			lab := view.Labels[v]
+			if lab == pyr {
+				coords[v] = coord{-1, -1}
+				continue
+			}
+			_, x3, y3, err := gv.parseLabel(lab)
+			if err != nil {
+				return local.No
+			}
+			coords[v] = coord{x3, y3}
+		}
+		for u := 0; u < n; u++ {
+			cu := coords[u]
+			if cu.x < 0 {
+				continue
+			}
+			for _, w := range view.G.Neighbors(u) {
+				cw := coords[int(w)]
+				if cw.x < 0 {
+					continue
+				}
+				if cu.x != cw.x && cu.y != cw.y {
+					return local.No
+				}
+			}
+		}
+		return local.Yes
+	})
+}

@@ -76,7 +76,8 @@ func BenchmarkTrialThroughput(b *testing.B) {
 	})
 	b.Run("engine", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if stats := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed}); stats.Estimate != 1 {
+			stats, err := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed})
+			if err != nil || stats.Estimate != 1 {
 				b.Fatal("yes-instance rejected")
 			}
 		}
@@ -96,7 +97,8 @@ func BenchmarkRejectionTrials(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("k=%d/engine", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if stats := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed}); stats.Estimate == 1 {
+				stats, err := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed})
+				if err != nil || stats.Estimate == 1 {
 					b.Fatal("no-instance never rejected")
 				}
 			}
@@ -111,9 +113,13 @@ func BenchmarkRejectionTrialsAdaptive(b *testing.B) {
 	p, asm := e10Instance(b, 7, '1')
 	var stats engine.TrialStats
 	for i := 0; i < b.N; i++ {
-		stats = p.RejectionTrials(asm, engine.TrialOptions{
+		var err error
+		stats, err = p.RejectionTrials(asm, engine.TrialOptions{
 			Trials: 200, Seed: 42, AdaptiveStop: true, Threshold: 0.5,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(stats.Trials), "trials-run")
 }

@@ -55,9 +55,15 @@ func TestTrialDeciderMatchesFullDecider(t *testing.T) {
 			t.Fatal(err)
 		}
 		const trials, seed = 25, 5
-		factored := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed})
-		full := local.AcceptanceTrials(p.RandomizedDecider(), asm.Labeled,
+		factored, err := p.RejectionTrials(asm, engine.TrialOptions{Trials: trials, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := local.AcceptanceTrials(p.RandomizedDecider(), asm.Labeled,
 			engine.TrialOptions{Trials: trials, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if factored.Trials != full.Trials || factored.Accepted != full.Accepted {
 			t.Fatalf("machine %s: factored %d/%d accepted, full %d/%d",
 				m.Name, factored.Accepted, factored.Trials, full.Accepted, full.Trials)
@@ -83,7 +89,10 @@ func TestRejectionTrialsPrefixReject(t *testing.T) {
 	labels := append([]graph.Label(nil), asm.Labeled.Labels...)
 	labels[asm.TableNode[0][0]] = "junk"
 	corrupted := graph.NewLabeled(asm.Labeled.G, labels)
-	stats := engine.EvalTrials(p.TrialDecider(), corrupted, engine.TrialOptions{Trials: 40, Seed: 2})
+	stats, err := engine.EvalTrials(p.TrialDecider(), corrupted, engine.TrialOptions{Trials: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !stats.PrefixRejected || stats.Estimate != 0 || stats.Trials != 40 {
 		t.Fatalf("corrupted assembly: %+v, want prefix rejection with estimate 0", stats)
 	}

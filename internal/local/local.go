@@ -115,8 +115,9 @@ func EngineTrialDecider(alg RandomizedAlgorithm) engine.TrialDecider {
 // Carlo subsystem: trials×nodes randomized decisions on the trial worker
 // pool, per-trial early exit, deterministic per-(trial, node) coin streams,
 // and — when the options ask for it — adaptive stopping on the acceptance
-// estimate's confidence interval.
-func AcceptanceTrials(alg RandomizedAlgorithm, l *graph.Labeled, opts engine.TrialOptions) engine.TrialStats {
+// estimate's confidence interval. Malformed options and crashing deciders
+// come back as errors (possibly with partial committed statistics).
+func AcceptanceTrials(alg RandomizedAlgorithm, l *graph.Labeled, opts engine.TrialOptions) (engine.TrialStats, error) {
 	return engine.EvalTrials(EngineTrialDecider(alg), l, opts)
 }
 
@@ -124,9 +125,12 @@ func AcceptanceTrials(alg RandomizedAlgorithm, l *graph.Labeled, opts engine.Tri
 // per-trial coin derivations and returns the fraction of trials in which the
 // instance was accepted (all nodes Yes) — the fixed-trial-count wrapper over
 // AcceptanceTrials. Each trial early-exits at the first rejecting node.
-func EstimateAcceptance(alg RandomizedAlgorithm, l *graph.Labeled, trials int, seed int64) float64 {
-	engine.ValidateTrials(trials)
-	return AcceptanceTrials(alg, l, engine.TrialOptions{Trials: trials, Seed: seed}).Estimate
+func EstimateAcceptance(alg RandomizedAlgorithm, l *graph.Labeled, trials int, seed int64) (float64, error) {
+	stats, err := AcceptanceTrials(alg, l, engine.TrialOptions{Trials: trials, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	return stats.Estimate, nil
 }
 
 // AsOblivious adapts an ObliviousAlgorithm to the Algorithm interface by

@@ -1,10 +1,12 @@
 package local
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ids"
 )
@@ -128,33 +130,34 @@ func TestEstimateAcceptance(t *testing.T) {
 		return Yes
 	})
 	l := graph.UniformlyLabeled(graph.Path(3), "")
-	if p := EstimateAcceptance(always, l, 10, 1); p != 1 {
-		t.Errorf("always-yes acceptance = %v", p)
+	if p, err := EstimateAcceptance(always, l, 10, 1); err != nil || p != 1 {
+		t.Errorf("always-yes acceptance = %v (err %v)", p, err)
 	}
 	never := RandomizedFunc("never", 0, func(view *graph.View, rng *rand.Rand) Verdict {
 		return No
 	})
-	if p := EstimateAcceptance(never, l, 10, 1); p != 0 {
-		t.Errorf("always-no acceptance = %v", p)
+	if p, err := EstimateAcceptance(never, l, 10, 1); err != nil || p != 0 {
+		t.Errorf("always-no acceptance = %v (err %v)", p, err)
 	}
 	coin := RandomizedFunc("coin", 0, func(view *graph.View, rng *rand.Rand) Verdict {
 		return Verdict(rng.Intn(2) == 0)
 	})
 	single := graph.UniformlyLabeled(graph.New(1), "")
-	p := EstimateAcceptance(coin, single, 400, 7)
+	p, err := EstimateAcceptance(coin, single, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p < 0.35 || p > 0.65 {
 		t.Errorf("fair coin acceptance = %v, want ~0.5", p)
 	}
 }
 
-func TestEstimateAcceptancePanicsOnZeroTrials(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+// Zero trials used to panic; the library path now reports an error instead.
+func TestEstimateAcceptanceErrorsOnZeroTrials(t *testing.T) {
 	always := RandomizedFunc("always", 0, func(view *graph.View, rng *rand.Rand) Verdict { return Yes })
-	EstimateAcceptance(always, graph.UniformlyLabeled(graph.New(1), ""), 0, 1)
+	if _, err := EstimateAcceptance(always, graph.UniformlyLabeled(graph.New(1), ""), 0, 1); err == nil {
+		t.Fatal("expected error on zero trials")
+	}
 }
 
 func TestVerdictString(t *testing.T) {
@@ -164,9 +167,10 @@ func TestVerdictString(t *testing.T) {
 }
 
 func TestOutcomeAggregation(t *testing.T) {
+	// An empty instance is an explicit error rather than a vacuous accept.
 	l := graph.UniformlyLabeled(graph.New(0), "")
 	out := RunOblivious(degreeAtMost(0), l)
-	if !out.Accepted {
-		t.Error("empty graph vacuously accepts")
+	if out.Accepted || !errors.Is(out.Err, engine.ErrEmptyInstance) {
+		t.Errorf("empty graph: %+v, want ErrEmptyInstance", out)
 	}
 }

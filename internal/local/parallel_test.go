@@ -1,9 +1,11 @@
 package local
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ids"
 )
@@ -51,7 +53,7 @@ func TestRunObliviousParallelMatchesSequential(t *testing.T) {
 func TestRunParallelEmpty(t *testing.T) {
 	l := graph.UniformlyLabeled(graph.New(0), "")
 	out := RunObliviousParallel(ObliviousFunc("x", 0, func(view *graph.View) Verdict { return Yes }), l)
-	if !out.Accepted {
-		t.Error("empty graph should accept vacuously")
+	if out.Accepted || !errors.Is(out.Err, engine.ErrEmptyInstance) {
+		t.Errorf("empty graph: %+v, want ErrEmptyInstance", out)
 	}
 }

@@ -1,10 +1,12 @@
 package local
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ids"
 )
@@ -92,8 +94,8 @@ func TestMessagePassingOblivious(t *testing.T) {
 		}
 	}
 	empty := RunMessagePassingOblivious(alg, graph.UniformlyLabeled(graph.New(0), ""))
-	if !empty.Accepted {
-		t.Error("empty graph should accept vacuously")
+	if empty.Accepted || !errors.Is(empty.Err, engine.ErrEmptyInstance) {
+		t.Errorf("empty graph: %+v, want ErrEmptyInstance", empty)
 	}
 }
 

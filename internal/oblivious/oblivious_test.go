@@ -68,27 +68,25 @@ func TestSimulationMatchesPaperSemantics(t *testing.T) {
 	}
 }
 
-func TestSimulationDomainTooSmallPanics(t *testing.T) {
+// A simulation whose decide panics (undersized domain) no longer kills the
+// process: the engine's crash recovery surfaces it as Outcome.Err.
+func TestSimulationDomainTooSmallErrors(t *testing.T) {
 	sim := NewSimulation(sizeThresholdDecider(5), []int{0})
 	l := graph.UniformlyLabeled(graph.Path(3), "")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for undersized domain")
-		}
-	}()
-	local.RunOblivious(sim, l)
+	out := local.RunOblivious(sim, l)
+	if out.Err == nil || out.Accepted {
+		t.Fatalf("undersized domain: %+v, want error", out)
+	}
 }
 
-func TestSimulationCapPanics(t *testing.T) {
+func TestSimulationCapErrors(t *testing.T) {
 	sim := NewSimulation(sizeThresholdDecider(100), []int{0, 1, 2, 3, 4, 5, 6, 7})
 	sim.MaxAssignments = 10
 	l := graph.UniformlyLabeled(graph.Star(5), "")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic at the assignment cap")
-		}
-	}()
-	local.RunOblivious(sim, l)
+	out := local.RunOblivious(sim, l)
+	if out.Err == nil || out.Accepted {
+		t.Fatalf("assignment cap: %+v, want error", out)
+	}
 }
 
 func TestSimulationIsObliviousByConstruction(t *testing.T) {
