@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// chaosServeEnv guards the re-exec child body: when set to the store path,
+// the test binary runs a serving-and-requesting loop instead of the suite.
+const chaosServeEnv = "DECIDED_CHAOS_SERVE"
+
+// chaosRequestSet is the deterministic request vocabulary both the child
+// (writing) and the parent (verifying) iterate. Seeded 3col/mis members keep
+// producing fresh labelings — hence fresh canonical views and fresh store
+// records — so the write-behind log is still being appended whenever the
+// SIGKILL lands.
+func chaosRequestSet() []string {
+	reqs := []string{
+		"/v1/eval?graph=cycle&n=64&decider=degree2",
+		"/v1/eval?graph=star&n=9&decider=degree2",
+		"/v1/eval?graph=path&n=33&decider=triangle-free",
+		"/v1/eval?graph=grid&n=12&decider=triangle-free",
+	}
+	for seed := 0; seed < 40; seed++ {
+		reqs = append(reqs,
+			fmt.Sprintf("/v1/eval?graph=cycle&n=97&decider=3col&seed=%d", seed),
+			fmt.Sprintf("/v1/eval?graph=cycle&n=51&decider=mis&seed=%d", seed))
+	}
+	return reqs
+}
+
+// TestChaosKillRestartVerify is the end-to-end crash-safety contract:
+//
+//  1. a child process serves decisions with a sync-every store and a tiny
+//     write-behind queue, evaluating the request set in a loop;
+//  2. the parent SIGKILLs it mid-stream — mid-write with high probability;
+//  3. the parent restarts the service in-process on the recovered store and
+//     re-issues every request, comparing each served verdict against a
+//     fresh engine evaluation with no cache and no store.
+//
+// Any corrupt record that survived recovery — or any cache warm-up serving
+// mangled bytes — shows up as a verdict mismatch here.
+func TestChaosKillRestartVerify(t *testing.T) {
+	if path := os.Getenv(chaosServeEnv); path != "" {
+		chaosServe(path)
+		os.Exit(0)
+	}
+	if testing.Short() {
+		t.Skip("re-exec chaos test skipped in -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	storePath := filepath.Join(t.TempDir(), "chaos-verdicts.log")
+	cmd := exec.Command(bin, "-test.run", "TestChaosKillRestartVerify")
+	cmd.Env = append(os.Environ(), chaosServeEnv+"="+storePath)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	// The child prints one line per completed loop pass; wait until it has
+	// served at least one full pass so there are verdicts worth losing, then
+	// kill it without warning.
+	ready := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := out.Read(buf); err != nil {
+				return
+			}
+			if buf[0] == '\n' {
+				close(ready)
+				return
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("child never completed a serving pass")
+	}
+	time.Sleep(25 * time.Millisecond) // land inside the second pass's writes
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// Restart: same store, fresh process (in-process here). Recovery must
+	// succeed whatever the kill tore.
+	cfg := testConfig()
+	cfg.storePath = storePath
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("restart after SIGKILL: %v", err)
+	}
+	s.ready.Store(true)
+	ts := httptest.NewServer(s.mux)
+	defer func() {
+		ts.Close()
+		if err := s.close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	st := s.store.Stats()
+	t.Logf("recovered %d records, truncated %d bytes, schema-skipped %d",
+		st.Recovered, st.TruncatedBytes, st.SkippedSchema)
+
+	// Re-issue every request and check each served verdict against a fresh
+	// engine evaluation that bypasses cache and store entirely.
+	for _, q := range chaosRequestSet() {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", q, resp.StatusCode, body)
+		}
+		var got evalResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", q, err)
+		}
+		want := freshVerdict(t, q)
+		if got.Accepted != want {
+			t.Fatalf("served verdict diverges from fresh engine evaluation for %s: served %v, fresh %v",
+				q, got.Accepted, want)
+		}
+	}
+}
+
+// freshVerdict evaluates the instance a request names with a brand-new
+// engine run: no cache, no dedup, no store — the ground truth the recovered
+// service must agree with.
+func freshVerdict(t *testing.T, rawQuery string) bool {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, rawQuery, nil)
+	if err != nil {
+		t.Fatalf("parse %s: %v", rawQuery, err)
+	}
+	kind, n, deciderName, seed, err := parseCommon(req)
+	if err != nil {
+		t.Fatalf("parse %s: %v", rawQuery, err)
+	}
+	g, err := buildServedGraph(kind, n, 1<<21)
+	if err != nil {
+		t.Fatalf("build %s: %v", rawQuery, err)
+	}
+	fresh := &server{cfg: testConfig()}
+	res, err := fresh.buildResident(g, deciderName, seed)
+	if err != nil {
+		t.Fatalf("decider %s: %v", rawQuery, err)
+	}
+	out := engine.EvalOblivious(res.dec, res.l, engine.Options{EarlyExit: true})
+	if out.Err != nil {
+		t.Fatalf("fresh evaluation of %s failed: %v", rawQuery, out.Err)
+	}
+	return out.Accepted
+}
+
+// chaosServe is the child body: serve on a loopback port and evaluate the
+// request set in an endless loop, printing one newline per completed pass.
+// SyncEvery plus a tiny queue keeps the store appending continuously so the
+// parent's SIGKILL lands mid-write with high probability.
+func chaosServe(storePath string) {
+	cfg := testConfig()
+	cfg.storePath = storePath
+	cfg.syncEvery = true
+	cfg.queueDepth = 4
+	s, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos child: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos child: %v\n", err)
+		os.Exit(1)
+	}
+	s.ready.Store(true)
+	go http.Serve(ln, s.mux)
+	base := "http://" + ln.Addr().String()
+	serve := func(q string) {
+		resp, err := http.Get(base + q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos child: %v\n", err)
+			os.Exit(1)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// Pass one: the fixed set the parent verifies after restart.
+	for _, q := range chaosRequestSet() {
+		serve(q)
+	}
+	fmt.Println() // pass completed: the parent may kill any time now
+	// Then: ever-fresh seeds, so new canonical views keep flowing into the
+	// write-behind log and the SIGKILL lands while the store is appending.
+	for seed := 1000; ; seed++ {
+		serve(fmt.Sprintf("/v1/eval?graph=cycle&n=97&decider=3col&seed=%d", seed))
+		serve(fmt.Sprintf("/v1/eval?graph=cycle&n=51&decider=mis&seed=%d", seed))
+	}
+}

@@ -1,0 +1,515 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/props"
+	"repro/internal/store"
+	"repro/internal/tree"
+)
+
+// config is the resolved server configuration. Field validation happens in
+// parseFlags (main.go); newServer assumes a valid config.
+type config struct {
+	addr string
+	// storePath is the verdict log; empty disables persistence.
+	storePath string
+	// cacheBytes bounds the resident verdict cache (NewBoundedViewCache).
+	cacheBytes int64
+	// maxInflight is the admission-control semaphore width: evaluations past
+	// it are shed with 429 + Retry-After instead of queueing unboundedly.
+	maxInflight int
+	// defaultTimeout/maxTimeout bound per-request evaluation deadlines: the
+	// default applies when the request names none, the max caps what a
+	// request may ask for.
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	// drainTimeout bounds graceful shutdown: in-flight evaluations get this
+	// long to finish before the listener is torn down.
+	drainTimeout time.Duration
+	// queueDepth/syncEvery pass through to store.Options.
+	queueDepth int
+	syncEvery  bool
+	// maxNodes caps instance sizes admitted for evaluation.
+	maxNodes int
+
+	// testDeciders lets tests register extra deterministic deciders (e.g. a
+	// deliberately slow one) without widening the public vocabulary.
+	testDeciders map[string]engine.Decider
+}
+
+// resident is one cached (graph, labels, decider) binding: built on first
+// request, then reused for the server's lifetime so repeated evaluations pay
+// zero construction cost and share every cached verdict.
+type resident struct {
+	l    *graph.Labeled
+	dec  engine.Decider            // deterministic deciders
+	rand local.RandomizedAlgorithm // randomized deciders (trials)
+}
+
+// server is the decided service: a resident verdict cache, an optional
+// persistent store wired behind it, and the HTTP surface.
+type server struct {
+	cfg   config
+	cache *engine.ViewCache
+	store *store.Store // nil when persistence is off
+
+	sem       chan struct{}
+	ready     atomic.Bool
+	residents sync.Map // key string → *resident
+
+	served    atomic.Int64 // evaluations answered (eval + trials)
+	rejected  atomic.Int64 // requests shed by admission control
+	deadlines atomic.Int64 // evaluations cut by their deadline
+	evalErrs  atomic.Int64 // evaluations that failed outright
+
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// newServer opens the store (recovering and warming the cache from it),
+// wires the write-behind persistence hook, and builds the HTTP mux. The
+// returned server is not yet ready: callers flip readiness once the listener
+// is up.
+func newServer(cfg config) (*server, error) {
+	s := &server{
+		cfg:   cfg,
+		cache: engine.NewBoundedViewCache(cfg.cacheBytes),
+		sem:   make(chan struct{}, cfg.maxInflight),
+		start: time.Now(),
+	}
+	if cfg.storePath != "" {
+		st, err := store.Open(cfg.storePath, store.Options{
+			QueueDepth: cfg.queueDepth,
+			SyncEvery:  cfg.syncEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		// Warm-up: replay every recovered verdict into the cache. Insert
+		// never echoes into the persist hook, so recovery cannot feed back
+		// into the log.
+		st.ForEach(func(r store.Record) {
+			s.cache.Insert(r.Decider, r.Horizon, r.Code, engine.Verdict(r.Verdict))
+		})
+		// Write-behind: fresh canonical verdicts enqueue to the store; Put
+		// never blocks (bounded queue, drop-on-overflow), which is the
+		// contract the eval hot path requires.
+		s.cache.SetPersist(func(decider string, horizon int, code []byte, verdict engine.Verdict) {
+			st.Put(store.Record{Decider: decider, Horizon: horizon, Code: code, Verdict: bool(verdict)})
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/eval", s.handleEval)
+	mux.HandleFunc("/v1/trials", s.handleTrials)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux = mux
+	return s, nil
+}
+
+// close flushes and closes the store. Call after the HTTP listener has
+// drained so no evaluation races the final flush.
+func (s *server) close() error {
+	if s.store == nil {
+		return nil
+	}
+	if err := s.store.Flush(); err != nil {
+		s.store.Close()
+		return err
+	}
+	return s.store.Close()
+}
+
+// httpError writes a plain-text error with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// admit acquires an admission slot without blocking. On shed it writes the
+// 429 itself and returns false.
+func (s *server) admit(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "server at capacity (%d evaluations in flight)", s.cfg.maxInflight)
+		return false
+	}
+}
+
+// release returns an admission slot.
+func (s *server) release() { <-s.sem }
+
+// requestTimeout resolves the evaluation deadline for a request: the
+// timeout_ms query parameter when present (capped at maxTimeout), the
+// configured default otherwise.
+func (s *server) requestTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return s.cfg.defaultTimeout, nil
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("timeout_ms must be a positive integer, got %q", raw)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.maxTimeout {
+		d = s.cfg.maxTimeout
+	}
+	return d, nil
+}
+
+// residentFor resolves (and memoises) the instance+decider a request names.
+func (s *server) residentFor(kind string, n int, deciderName string, seed int64) (*resident, error) {
+	key := fmt.Sprintf("%s/%d/%s/%d", kind, n, deciderName, seed)
+	if v, ok := s.residents.Load(key); ok {
+		return v.(*resident), nil
+	}
+	g, err := buildServedGraph(kind, n, s.cfg.maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.buildResident(g, deciderName, seed)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := s.residents.LoadOrStore(key, res)
+	return actual.(*resident), nil
+}
+
+// buildServedGraph is the service's graph vocabulary — the same families
+// localsim drives, capped at sizes a shared server should build on demand.
+func buildServedGraph(kind string, n, maxNodes int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("n must be positive, got %d", n)
+	}
+	var g *graph.Graph
+	switch kind {
+	case "cycle":
+		g = graph.Cycle(n)
+	case "path":
+		g = graph.Path(n)
+	case "star":
+		g = graph.Star(n)
+	case "grid":
+		g = graph.Grid(n, 4)
+	case "tree":
+		if n > 24 {
+			return nil, fmt.Errorf("tree depth %d out of range [1,24]", n)
+		}
+		g = graph.CompleteBinaryTree(n)
+	case "pyramid":
+		if n > 10 {
+			return nil, fmt.Errorf("pyramid height %d out of range [1,10]", n)
+		}
+		g = tree.NewPyramid(n).G
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q (cycle | path | star | grid | tree | pyramid)", kind)
+	}
+	if g.N() > maxNodes {
+		return nil, fmt.Errorf("instance has %d nodes, over the served cap %d", g.N(), maxNodes)
+	}
+	return g, nil
+}
+
+// buildResident binds a decider name to a labeled instance.
+func (s *server) buildResident(g *graph.Graph, name string, seed int64) (*resident, error) {
+	if dec, ok := s.cfg.testDeciders[name]; ok {
+		return &resident{l: graph.UniformlyLabeled(g, ""), dec: dec}, nil
+	}
+	switch name {
+	case "3col":
+		l := graph.RandomLabels(g, []graph.Label{"0", "1", "2"}, seed)
+		return &resident{l: l, dec: local.EngineObliviousDecider(props.ThreeColoringVerifier())}, nil
+	case "mis":
+		l := graph.RandomLabels(g, []graph.Label{"0", "1"}, seed)
+		return &resident{l: l, dec: local.EngineObliviousDecider(props.MISVerifier())}, nil
+	case "degree2":
+		return &resident{l: graph.UniformlyLabeled(g, ""), dec: local.EngineObliviousDecider(props.BoundedDegreeVerifier(2))}, nil
+	case "triangle-free":
+		return &resident{l: graph.UniformlyLabeled(g, ""), dec: local.EngineObliviousDecider(props.TriangleFreeVerifier())}, nil
+	case "coin":
+		alg := local.RandomizedFunc("coin(1/64)", 0, func(_ *graph.View, rng *rand.Rand) local.Verdict {
+			return local.Verdict(rng.Intn(64) != 0)
+		})
+		return &resident{l: graph.UniformlyLabeled(g, ""), rand: alg}, nil
+	default:
+		return nil, fmt.Errorf("unknown decider %q (3col | mis | degree2 | triangle-free | coin)", name)
+	}
+}
+
+// evalResponse is the JSON body of /v1/eval.
+type evalResponse struct {
+	Graph     string  `json:"graph"`
+	N         int     `json:"n"`
+	Decider   string  `json:"decider"`
+	Accepted  bool    `json:"accepted"`
+	Evaluated int     `json:"evaluated"`
+	DedupHits int     `json:"dedupHits"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// parseCommon extracts the (graph, n, decider, seed) quadruple shared by
+// /v1/eval and /v1/trials.
+func parseCommon(r *http.Request) (kind string, n int, decider string, seed int64, err error) {
+	q := r.URL.Query()
+	kind = q.Get("graph")
+	if kind == "" {
+		kind = "cycle"
+	}
+	decider = q.Get("decider")
+	if decider == "" {
+		return "", 0, "", 0, errors.New("missing decider parameter")
+	}
+	n = 8
+	if raw := q.Get("n"); raw != "" {
+		if n, err = strconv.Atoi(raw); err != nil {
+			return "", 0, "", 0, fmt.Errorf("n must be an integer, got %q", raw)
+		}
+	}
+	seed = 1
+	if raw := q.Get("seed"); raw != "" {
+		if seed, err = strconv.ParseInt(raw, 10, 64); err != nil {
+			return "", 0, "", 0, fmt.Errorf("seed must be an integer, got %q", raw)
+		}
+	}
+	return kind, n, decider, seed, nil
+}
+
+// handleEval evaluates a deterministic decider on the named instance through
+// the resident cache, under the request's deadline and the server's
+// admission control.
+func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	kind, n, deciderName, seed, err := parseCommon(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	backend := engine.Scheduler(nil)
+	switch b := r.URL.Query().Get("backend"); b {
+	case "", "sequential":
+	case "sharded":
+		backend = engine.Sharded
+	default:
+		httpError(w, http.StatusBadRequest, "unknown backend %q (sequential | sharded)", b)
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	res, err := s.residentFor(kind, n, deciderName, seed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	opts := engine.Options{Scheduler: backend, Seed: seed, Ctx: ctx, EarlyExit: true}
+	// nocache=1 is a diagnostic: evaluate without the resident cache (and
+	// without feeding it), so operators can measure the cold path and tests
+	// can exercise full-length evaluations.
+	if res.dec.Decide != nil && r.URL.Query().Get("nocache") != "1" {
+		opts.Cache = s.cache // implies dedup; ignored for randomized deciders
+	}
+	var dec engine.Decider
+	if res.dec.Decide != nil {
+		dec = res.dec
+	} else if res.rand != nil {
+		dec = local.EngineRandomizedDecider(res.rand)
+	} else {
+		httpError(w, http.StatusInternalServerError, "resident without a decider")
+		return
+	}
+	begin := time.Now()
+	out := engine.EvalOblivious(dec, res.l, opts)
+	elapsed := time.Since(begin)
+
+	switch {
+	case out.Err == nil:
+		s.served.Add(1)
+		writeJSON(w, evalResponse{
+			Graph: kind, N: res.l.N(), Decider: deciderName,
+			Accepted: out.Accepted, Evaluated: out.Stats.Evaluated,
+			DedupHits: out.Stats.DedupHits, ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		})
+	case errors.Is(out.Err, context.DeadlineExceeded):
+		s.deadlines.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "evaluation exceeded its %v deadline", timeout)
+	case errors.Is(out.Err, context.Canceled):
+		// Client went away; nothing useful to write, but record it.
+		s.deadlines.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "evaluation canceled")
+	default:
+		s.evalErrs.Add(1)
+		httpError(w, http.StatusInternalServerError, "evaluation failed: %v", out.Err)
+	}
+}
+
+// trialsResponse is the JSON body of /v1/trials.
+type trialsResponse struct {
+	Graph     string  `json:"graph"`
+	N         int     `json:"n"`
+	Decider   string  `json:"decider"`
+	Requested int     `json:"requested"`
+	Committed int     `json:"committed"`
+	Accepted  int     `json:"accepted"`
+	Estimate  float64 `json:"estimate"`
+	CILow     float64 `json:"ciLow"`
+	CIHigh    float64 `json:"ciHigh"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// handleTrials runs a Monte Carlo acceptance sweep of a randomized decider
+// under the request's deadline. A deadline that cuts the sweep mid-way still
+// returns the committed prefix — partial statistics, honestly flagged with
+// partial=true semantics via committed < requested.
+func (s *server) handleTrials(w http.ResponseWriter, r *http.Request) {
+	kind, n, deciderName, seed, err := parseCommon(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	trials := 100
+	if raw := r.URL.Query().Get("trials"); raw != "" {
+		if trials, err = strconv.Atoi(raw); err != nil || trials < 1 {
+			httpError(w, http.StatusBadRequest, "trials must be a positive integer, got %q", raw)
+			return
+		}
+	}
+	confidence := 0.95
+	if raw := r.URL.Query().Get("confidence"); raw != "" {
+		if confidence, err = strconv.ParseFloat(raw, 64); err != nil || confidence <= 0 || confidence >= 1 || math.IsNaN(confidence) {
+			httpError(w, http.StatusBadRequest, "confidence must be in (0, 1), got %q", raw)
+			return
+		}
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	res, err := s.residentFor(kind, n, deciderName, seed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if res.rand == nil {
+		httpError(w, http.StatusBadRequest, "decider %q is deterministic; /v1/trials needs a randomized decider (coin)", deciderName)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	begin := time.Now()
+	stats, terr := local.AcceptanceTrials(res.rand, res.l, engine.TrialOptions{
+		Trials: trials, Seed: seed, Confidence: confidence, Ctx: ctx,
+	})
+	elapsed := time.Since(begin)
+	if terr != nil && !errors.Is(terr, context.DeadlineExceeded) && !errors.Is(terr, context.Canceled) {
+		s.evalErrs.Add(1)
+		httpError(w, http.StatusInternalServerError, "trial sweep failed: %v", terr)
+		return
+	}
+	if terr != nil {
+		s.deadlines.Add(1)
+	}
+	s.served.Add(1)
+	writeJSON(w, trialsResponse{
+		Graph: kind, N: res.l.N(), Decider: deciderName,
+		Requested: trials, Committed: stats.Trials, Accepted: stats.Accepted,
+		Estimate: stats.Estimate, CILow: stats.CI.Low, CIHigh: stats.CI.High,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+// handleHealthz reports process liveness: 200 whenever the process can run a
+// handler at all.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports serving readiness: 200 once the store is recovered
+// and the listener is up, 503 before that and again once shutdown begins —
+// the signal a load balancer uses to drain this instance.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready.Load() {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "not ready")
+}
+
+// statszResponse is the JSON body of /statsz.
+type statszResponse struct {
+	UptimeSeconds float64           `json:"uptimeSeconds"`
+	Goroutines    int               `json:"goroutines"`
+	Inflight      int               `json:"inflight"`
+	MaxInflight   int               `json:"maxInflight"`
+	Served        int64             `json:"served"`
+	Rejected      int64             `json:"rejected"`
+	Deadlines     int64             `json:"deadlineExceeded"`
+	EvalErrors    int64             `json:"evalErrors"`
+	Cache         engine.CacheStats `json:"cache"`
+	Store         *store.Stats      `json:"store,omitempty"`
+}
+
+// handleStatsz exposes the server's counters, the cache's accounting and the
+// store's recovery/flush counters as one JSON document.
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	resp := statszResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Inflight:      len(s.sem),
+		MaxInflight:   s.cfg.maxInflight,
+		Served:        s.served.Load(),
+		Rejected:      s.rejected.Load(),
+		Deadlines:     s.deadlines.Load(),
+		EvalErrors:    s.evalErrs.Load(),
+		Cache:         s.cache.Stats(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, resp)
+}

@@ -112,8 +112,15 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *runs < 1 {
-		return fmt.Errorf("-runs must be positive, got %d", *runs)
+	if *useMP {
+		if *backend != "sequential" && *backend != "mp" && *backend != "message-passing" {
+			return fmt.Errorf("conflicting flags: -mp and -backend %s", *backend)
+		}
+		*backend = "mp"
+	}
+	if err := validateFlags(fs.NArg(), *graphKind, *n, *deciderName, *backend, *runs,
+		*trials, *confidence, *threshold, *faults, *faultRate); err != nil {
+		return err
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -145,13 +152,6 @@ func run(args []string) error {
 			}
 		}()
 	}
-	if *useMP {
-		if *backend != "sequential" && *backend != "mp" && *backend != "message-passing" {
-			return fmt.Errorf("conflicting flags: -mp and -backend %s", *backend)
-		}
-		*backend = "mp"
-	}
-
 	switch *faults {
 	case "", "crash", "messages":
 		// crash/messages need the instance built below.
@@ -231,6 +231,64 @@ func run(args []string) error {
 	}
 	if (*dedup || *useCache) && isMP {
 		fmt.Println("note: the message-passing backend assembles every view operationally and never deduplicates; -dedup/-cache had no effect")
+	}
+	return nil
+}
+
+// validateFlags is the up-front configuration check: every malformed or
+// contradictory invocation fails with a one-line usage error here, before
+// any profile file is created or any instance is built. Mode-specific range
+// checks deeper in the pipeline stay as defense in depth; this is the front
+// door.
+func validateFlags(nArgs int, graphKind string, n int, decider, backend string,
+	runs, trials int, confidence, threshold float64, faults string, faultRate float64) error {
+	if nArgs > 0 {
+		return fmt.Errorf("unexpected positional arguments (flags only)")
+	}
+	switch graphKind {
+	case "cycle", "path", "star", "grid", "tree", "pyramid":
+	default:
+		return fmt.Errorf("unknown graph kind %q (cycle | path | star | grid | tree | pyramid)", graphKind)
+	}
+	if n < 0 {
+		return fmt.Errorf("-n must be non-negative, got %d", n)
+	}
+	switch decider {
+	case "3col", "mis", "degree2", "triangle-free", "coin":
+	default:
+		return fmt.Errorf("unknown decider %q (3col | mis | degree2 | triangle-free | coin)", decider)
+	}
+	switch backend {
+	case "sequential", "sharded", "mp", "message-passing":
+	default:
+		return fmt.Errorf("unknown backend %q (sequential | sharded | mp)", backend)
+	}
+	if runs < 1 {
+		return fmt.Errorf("-runs must be positive, got %d", runs)
+	}
+	if trials < 0 {
+		return fmt.Errorf("-trials must be non-negative, got %d", trials)
+	}
+	if trials > 0 {
+		if confidence <= 0 || confidence >= 1 || math.IsNaN(confidence) {
+			return fmt.Errorf("-confidence must be in (0, 1), got %v", confidence)
+		}
+		if !math.IsNaN(threshold) && (threshold < 0 || threshold > 1) {
+			return fmt.Errorf("-threshold must be in [0, 1], got %v", threshold)
+		}
+	}
+	switch faults {
+	case "":
+	case "flip", "swap", "randomize", "labels":
+		if faultRate <= 0 || faultRate > 1 || math.IsNaN(faultRate) {
+			return fmt.Errorf("-fault-rate must be in (0, 1] for label models, got %v", faultRate)
+		}
+	case "crash", "messages":
+		if faultRate < 0 || faultRate > 1 || math.IsNaN(faultRate) {
+			return fmt.Errorf("-fault-rate must be in [0, 1], got %v", faultRate)
+		}
+	default:
+		return fmt.Errorf("unknown -faults model %q (flip | swap | randomize | labels | crash | messages)", faults)
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestLocalsimCombos(t *testing.T) {
 	combos := [][]string{
@@ -50,5 +54,38 @@ func TestLocalsimErrors(t *testing.T) {
 	}
 	if err := run([]string{"-decider", "coin", "-trials", "10", "-confidence", "1.5"}); err == nil {
 		t.Error("out-of-range -confidence accepted")
+	}
+}
+
+// TestLocalsimUpFrontValidation pins the front-door flag check: each bad
+// invocation fails with a one-line usage error before any instance is built
+// or profile file created.
+func TestLocalsimUpFrontValidation(t *testing.T) {
+	bad := [][]string{
+		{"stray-positional"},
+		{"-backend", "quantum"},
+		{"-n", "-4"},
+		{"-runs", "-2"},
+		{"-trials", "-5"},
+		{"-faults", "mystery"},
+		{"-faults", "flip", "-fault-rate", "0"},
+		{"-faults", "flip", "-fault-rate", "1.5"},
+		{"-faults", "crash", "-fault-rate", "-0.1"},
+		{"-mp", "-backend", "sharded"},
+		{"-graph", "mystery", "-cpuprofile", "/nonexistent-dir/should-not-be-created"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("localsim %v accepted a bad invocation", args)
+		}
+	}
+	// Validation must run before profiling starts: an invalid invocation
+	// must never create the profile file.
+	prof := filepath.Join(t.TempDir(), "should-not-exist.prof")
+	if err := run([]string{"-graph", "mystery", "-cpuprofile", prof}); err == nil {
+		t.Error("invalid invocation with -cpuprofile accepted")
+	}
+	if _, err := os.Stat(prof); err == nil {
+		t.Error("invalid invocation still created the profile file")
 	}
 }

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicReplay pins the retry-backoff contract: for fixed
+// (base, seed, node, attempt) the duration is a pure function — the property
+// that keeps fault-seeded runs replayable sleep for sleep.
+func TestBackoffDeterministicReplay(t *testing.T) {
+	base := 100 * time.Microsecond
+	for node := 0; node < 8; node++ {
+		for attempt := 1; attempt < 6; attempt++ {
+			a := backoffDuration(base, 42, node, attempt)
+			b := backoffDuration(base, 42, node, attempt)
+			if a != b {
+				t.Fatalf("node %d attempt %d: %v != %v", node, attempt, a, b)
+			}
+		}
+	}
+}
+
+// TestBackoffJitterRange: every duration lands in [d/2, d] where d is the
+// capped exponential step — jittered enough to spread concurrent retries,
+// bounded enough to stay an exponential schedule.
+func TestBackoffJitterRange(t *testing.T) {
+	base := 100 * time.Microsecond
+	for seed := int64(0); seed < 5; seed++ {
+		for node := 0; node < 16; node++ {
+			for attempt := 1; attempt < 12; attempt++ {
+				d := base << uint(attempt-1)
+				if d > retryBackoffCap || d < base {
+					d = retryBackoffCap
+				}
+				got := backoffDuration(base, seed, node, attempt)
+				if got < d/2 || got > d {
+					t.Fatalf("seed %d node %d attempt %d: %v outside [%v, %v]",
+						seed, node, attempt, got, d/2, d)
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffCapped: attempts far past the doubling range sleep at most the
+// cap — a persistently crashing decider costs milliseconds per retry, not
+// exponentially growing stalls.
+func TestBackoffCapped(t *testing.T) {
+	for attempt := 1; attempt < 64; attempt++ {
+		if got := backoffDuration(time.Millisecond, 7, 3, attempt); got > retryBackoffCap {
+			t.Fatalf("attempt %d: %v exceeds cap %v", attempt, got, retryBackoffCap)
+		}
+	}
+	// The shift that used to overflow into negative durations must not: a
+	// huge attempt index still yields a positive, capped sleep.
+	if got := backoffDuration(time.Millisecond, 7, 3, 200); got <= 0 || got > retryBackoffCap {
+		t.Fatalf("attempt 200: %v outside (0, %v]", got, retryBackoffCap)
+	}
+}
+
+// TestBackoffSpreadsNodes: concurrent retries of distinct nodes draw
+// distinct jitter (same seed, same attempt) — no thundering herd in
+// crash-burst fault plans.
+func TestBackoffSpreadsNodes(t *testing.T) {
+	seen := make(map[time.Duration]bool)
+	for node := 0; node < 32; node++ {
+		seen[backoffDuration(time.Millisecond, 9, node, 1)] = true
+	}
+	if len(seen) < 16 {
+		t.Fatalf("32 nodes drew only %d distinct backoffs", len(seen))
+	}
+}

@@ -76,6 +76,8 @@ func evalBatch(dec Decider, items []batchItem, opts Options) []Outcome {
 	if (opts.Dedup || opts.Cache != nil) && dec.DecideRand == nil {
 		if opts.Cache != nil {
 			cache, shared = opts.Cache, true
+		} else if opts.CacheBytes > 0 {
+			cache = NewBoundedViewCache(opts.CacheBytes)
 		} else {
 			cache = NewViewCache()
 		}

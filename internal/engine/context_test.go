@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+// slowDecider accepts every view after a small sleep — enough work per node
+// that a deadline reliably lands mid-evaluation on a large instance.
+func slowDecider(perNode time.Duration) Decider {
+	return Decider{Name: "slow-accept", Horizon: 1, Decide: func(view *graph.View) Verdict {
+		time.Sleep(perNode)
+		return Yes
+	}}
+}
+
+// TestEvalContextPreCanceled: an already-canceled context stops the
+// evaluation before (or immediately after) the first node; the outcome
+// reports the cancellation instead of fabricating a verdict.
+func TestEvalContextPreCanceled(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l := graph.UniformlyLabeled(graph.Cycle(1000), "u")
+	for _, sched := range []Scheduler{Sequential, Sharded, MessagePassing} {
+		out := EvalOblivious(slowDecider(0), l, Options{Scheduler: sched, Ctx: ctx})
+		if out.Accepted {
+			t.Fatalf("%s: canceled evaluation must not accept", sched.Name())
+		}
+		if !errors.Is(out.Err, context.Canceled) {
+			t.Fatalf("%s: Err = %v, want wrapped context.Canceled", sched.Name(), out.Err)
+		}
+	}
+}
+
+// TestEvalDeadlineMidRun: a deadline expiring mid-evaluation stops the
+// remaining nodes promptly and surfaces context.DeadlineExceeded, on both
+// functional schedulers, without stranding worker goroutines.
+func TestEvalDeadlineMidRun(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	l := graph.UniformlyLabeled(graph.Cycle(10000), "u")
+	for _, sched := range []Scheduler{Sequential, Sharded} {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		start := time.Now()
+		out := EvalOblivious(slowDecider(100*time.Microsecond), l, Options{Scheduler: sched, Ctx: ctx})
+		elapsed := time.Since(start)
+		cancel()
+		if out.Accepted {
+			t.Fatalf("%s: deadline-cut evaluation must not accept", sched.Name())
+		}
+		if !errors.Is(out.Err, context.DeadlineExceeded) {
+			t.Fatalf("%s: Err = %v, want wrapped context.DeadlineExceeded", sched.Name(), out.Err)
+		}
+		// 10k nodes x 100µs would take ≥1s; the deadline must cut far below.
+		if elapsed > 500*time.Millisecond {
+			t.Fatalf("%s: evaluation ran %v past a 5ms deadline", sched.Name(), elapsed)
+		}
+		if out.Stats.Evaluated >= l.N() {
+			t.Fatalf("%s: every node evaluated despite the deadline", sched.Name())
+		}
+	}
+}
+
+// TestEvalContextUnsetUnchanged: evaluations without a context behave
+// exactly as before — the fast path is a nil check.
+func TestEvalContextUnsetUnchanged(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.Cycle(64), "u")
+	out := EvalOblivious(degreeAtMost(2), l, Options{})
+	if !out.Accepted || out.Err != nil {
+		t.Fatalf("plain evaluation broken: %+v", out)
+	}
+}
+
+// TestEvalTrialsDeadline: a trial sweep under a deadline returns the
+// committed in-order prefix plus an error wrapping the context's — partial
+// statistics, honestly flagged — and strands no trial workers.
+func TestEvalTrialsDeadline(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	l := graph.UniformlyLabeled(graph.Cycle(32), "u")
+	slow := TrialDecider{Name: "slow-coin", Horizon: 1,
+		DecideRand: func(view *graph.View, rng *rand.Rand) Verdict {
+			time.Sleep(200 * time.Microsecond)
+			return Yes
+		}}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	stats, err := EvalTrials(slow, l, TrialOptions{Trials: 100000, Seed: 1, Workers: 4, Ctx: ctx})
+	elapsed := time.Since(start)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+	if stats.Trials >= 100000 {
+		t.Fatal("sweep ran every trial despite the deadline")
+	}
+	// 100k trials x 32 nodes x 200µs is hours; the deadline must cut fast.
+	if elapsed > 2*time.Second {
+		t.Fatalf("sweep ran %v past a 10ms deadline", elapsed)
+	}
+	// The committed prefix remains worker-count-invariant data: every
+	// committed trial accepted (the decider always says Yes).
+	if stats.Accepted != stats.Trials {
+		t.Fatalf("committed prefix inconsistent: %d accepted of %d", stats.Accepted, stats.Trials)
+	}
+}

@@ -22,10 +22,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -239,6 +241,21 @@ type Options struct {
 	// condition documented on ViewCache. When nil and Dedup is set, the
 	// engine uses a private cache for the one evaluation.
 	Cache *ViewCache
+	// CacheBytes bounds the private dedup cache the engine creates when
+	// Dedup is set without an explicit Cache: the cache is byte-accounted
+	// and CLOCK-evicted so it never exceeds this many bytes (see
+	// NewBoundedViewCache). 0 means the historical unbounded-with-entry-cap
+	// private cache; negative is a validation error. Ignored when
+	// Options.Cache is provided — bound a shared cache at construction.
+	CacheBytes int64
+	// Ctx, when set, bounds the evaluation: the sequential and sharded
+	// schedulers (and EvalBatch) poll it between nodes and stop once it is
+	// done, returning Outcome{Accepted: false, Err: wrapping ctx.Err()}.
+	// This is how a serving layer propagates per-request deadlines into the
+	// engine. The MessagePassing backend checks only at launch — its
+	// goroutine-per-node rounds are bounded with RoundTimeout instead. Nil
+	// means no deadline.
+	Ctx context.Context
 	// EarlyExit lets the engine stop at the first No verdict. The Outcome
 	// then carries no per-node verdicts.
 	EarlyExit bool
@@ -328,6 +345,11 @@ type job struct {
 	maxAttempts int
 	backoff     time.Duration
 
+	// done is Options.Ctx's done channel (nil without a context); canceled
+	// latches the first observation so every scheduler loop sees one answer.
+	done     <-chan struct{}
+	canceled atomic.Bool
+
 	errMu sync.Mutex
 	errs  []VerdictError
 }
@@ -341,6 +363,9 @@ func newJob(dec Decider, l *graph.Labeled, in *graph.Instance, opts Options) (*j
 	}
 	if opts.MaxAttempts < 0 {
 		return nil, fmt.Errorf("engine: negative MaxAttempts %d", opts.MaxAttempts)
+	}
+	if opts.CacheBytes < 0 {
+		return nil, fmt.Errorf("engine: negative CacheBytes %d", opts.CacheBytes)
 	}
 	j := &job{
 		dec:         dec,
@@ -364,9 +389,14 @@ func newJob(dec Decider, l *graph.Labeled, in *graph.Instance, opts Options) (*j
 	if (opts.Dedup || opts.Cache != nil) && in == nil && dec.DecideRand == nil {
 		if opts.Cache != nil {
 			j.cache, j.shared = opts.Cache, true
+		} else if opts.CacheBytes > 0 {
+			j.cache = NewBoundedViewCache(opts.CacheBytes)
 		} else {
 			j.cache = NewViewCache()
 		}
+	}
+	if opts.Ctx != nil {
+		j.done = opts.Ctx.Done()
 	}
 	j.stats.Nodes = j.n
 	if !opts.EarlyExit {
@@ -401,7 +431,10 @@ func (j *job) run() Outcome {
 // outcome assembles the final Outcome after a scheduler run: node-level
 // failures (recorded by the guarded decide path) force Accepted to false and
 // surface as a sorted error list plus a summary Err — a sweep with failed
-// nodes is neither an accept nor a clean reject.
+// nodes is neither an accept nor a clean reject. A context cancellation
+// observed mid-run likewise yields neither: the outcome reports the
+// cancellation so a serving layer can answer "deadline exceeded" instead of
+// a fabricated verdict.
 func (j *job) outcome(accepted bool) Outcome {
 	out := Outcome{Verdicts: j.verdicts, Accepted: accepted, Stats: j.stats}
 	if len(j.errs) > 0 {
@@ -411,7 +444,30 @@ func (j *job) outcome(accepted bool) Outcome {
 		out.Err = fmt.Errorf("engine: %d node(s) failed all %d attempt(s); first: %w",
 			len(j.errs), j.maxAttempts, j.errs[0])
 	}
+	if j.canceled.Load() {
+		out.Accepted = false
+		out.Err = fmt.Errorf("engine: evaluation canceled: %w", j.opts.Ctx.Err())
+	}
 	return out
+}
+
+// checkCanceled polls the evaluation's context between nodes: one nil check
+// on context-free evaluations, a latched non-blocking receive otherwise.
+// Once done fires, every scheduler loop sees true and winds down.
+func (j *job) checkCanceled() bool {
+	if j.done == nil {
+		return false
+	}
+	if j.canceled.Load() {
+		return true
+	}
+	select {
+	case <-j.done:
+		j.canceled.Store(true)
+		return true
+	default:
+		return false
+	}
 }
 
 // extractor builds the per-worker batched view extractor for this job.

@@ -27,7 +27,7 @@ func (j *job) evalNode(x *graph.ViewExtractor, v int, evaluated, hits, inserted,
 	for a := 0; a < j.maxAttempts; a++ {
 		if a > 0 {
 			*retries++
-			j.backoffSleep(a)
+			j.backoffSleep(v, a)
 		}
 		verdict, err := j.attemptNode(x, v, a, evaluated, hits, inserted)
 		if err == nil {
@@ -64,7 +64,7 @@ func (j *job) guardedVerdict(v int, crashes, retries *int, body func() Verdict) 
 	for a := 0; a < j.maxAttempts; a++ {
 		if a > 0 {
 			*retries++
-			j.backoffSleep(a)
+			j.backoffSleep(v, a)
 		}
 		verdict, err := j.attemptBody(v, a, body)
 		if err == nil {
@@ -90,13 +90,43 @@ func (j *job) attemptBody(v, attempt int, body func() Verdict) (verdict Verdict,
 	return body(), nil
 }
 
-// backoffSleep sleeps before re-attempt number a (a >= 1), doubling from
-// j.backoff. A negative backoff disables sleeping.
-func (j *job) backoffSleep(a int) {
+// retryBackoffCap bounds the exponential retry backoff: beyond it further
+// attempts wait the capped duration (with jitter) instead of doubling on —
+// a node with a persistently crashing decider must not stall its worker for
+// seconds before the VerdictError is recorded.
+const retryBackoffCap = 10 * time.Millisecond
+
+// backoffSleep sleeps before re-attempt number a (a >= 1) of node v's
+// decide. A non-positive backoff disables sleeping (j.backoff is defaulted
+// at job construction; negative means "no backoff", for tests).
+func (j *job) backoffSleep(v, a int) {
 	if j.backoff <= 0 {
 		return
 	}
-	time.Sleep(j.backoff << uint(a-1))
+	time.Sleep(backoffDuration(j.backoff, j.opts.Seed, v, a))
+}
+
+// backoffDuration is the deterministic capped-exponential-with-jitter retry
+// schedule: base doubles per attempt up to retryBackoffCap, then a
+// splitmix64 draw off (seed, node, attempt) — the same stream family as the
+// fault/trial seeds — picks a jitter point in [d/2, d]. Retries under a
+// seeded fault plan therefore remain exactly replayable: the same seed
+// yields the same sleeps, while distinct nodes retrying concurrently (a
+// crash-burst fault plan) spread out instead of thundering in lockstep.
+func backoffDuration(base time.Duration, seed int64, node, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d >= retryBackoffCap {
+			break
+		}
+	}
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	half := uint64(d / 2)
+	h := mix64(mix64(uint64(seed)+golden64*uint64(node+1)) + golden64*uint64(attempt))
+	return time.Duration(half + h%(half+1))
 }
 
 // recordErr appends a node failure under the job's error lock (workers

@@ -64,6 +64,13 @@ type mpScheduler struct{}
 func (mpScheduler) Name() string { return "message-passing" }
 
 func (mpScheduler) run(j *job) bool {
+	// Cancellation is honoured at launch only: mid-protocol the per-node
+	// goroutines are interlocked through round barriers (a node that stops
+	// sending deadlocks its neighbours), so bounded rounds come from
+	// Options.RoundTimeout, not Ctx. See Options.Ctx.
+	if j.checkCanceled() {
+		return false
+	}
 	// Fault injection or a round timeout switches to the hardened runtime
 	// (mpfaulty.go); the lossless path below stays byte-identical to the
 	// seed-era protocol apart from the guarded decide stage.

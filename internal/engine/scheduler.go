@@ -121,6 +121,9 @@ func (j *job) runNodes(x *graph.ViewExtractor) bool {
 	accepted := true
 	inserted := 0
 	for v := 0; v < j.n; v++ {
+		if j.checkCanceled() {
+			break
+		}
 		verdict, ok := j.evalNode(x, v,
 			&j.stats.Evaluated, &j.stats.DedupHits, &inserted, &j.stats.Crashes, &j.stats.Retries)
 		if !ok {
@@ -182,6 +185,9 @@ func (s shardedScheduler) run(j *job) bool {
 					break
 				}
 				if j.opts.EarlyExit && rejected.Load() {
+					break
+				}
+				if j.checkCanceled() {
 					break
 				}
 				verdict, ok := j.evalNode(x, v, &evaluated, &hits, &ins, &crashes, &retries)

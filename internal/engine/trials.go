@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -143,6 +144,12 @@ type TrialOptions struct {
 	// (0 means 16): Wilson intervals on a handful of trials are wide but
 	// not wide enough to survive unlucky streaks.
 	MinTrials int
+	// Ctx, when set, bounds the sweep: workers poll it between trials and
+	// the sweep returns the committed in-order prefix alongside an error
+	// wrapping ctx.Err() — a serving layer's per-request deadline cuts a
+	// sweep short with honest partial statistics, exactly like a decider
+	// panic does. Nil means no deadline.
+	Ctx context.Context
 }
 
 // TrialStats is the outcome of a Monte Carlo sweep. For a fixed seed every
@@ -300,7 +307,7 @@ func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) (TrialSta
 			sched = ShardedWith(workers)
 		}
 		prefix := Decider{Name: dec.Name + "/prefix", Horizon: dec.Horizon, Decide: dec.Prefix}
-		out := EvalOblivious(prefix, l, Options{Scheduler: sched, Dedup: dec.PrefixDedup, EarlyExit: true})
+		out := EvalOblivious(prefix, l, Options{Scheduler: sched, Dedup: dec.PrefixDedup, EarlyExit: true, Ctx: opts.Ctx})
 		stats.PrefixStats = out.Stats
 		if out.Err != nil {
 			// A crashed or invalid prefix evaluation is not a rejection: the
@@ -377,6 +384,23 @@ func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) (TrialSta
 		return verdict, nil
 	}
 
+	// canceled polls the sweep's context between trials (nil-fast).
+	var ctxDone <-chan struct{}
+	if opts.Ctx != nil {
+		ctxDone = opts.Ctx.Done()
+	}
+	canceled := func() bool {
+		if ctxDone == nil {
+			return false
+		}
+		select {
+		case <-ctxDone:
+			return true
+		default:
+			return false
+		}
+	}
+
 	worker := func() {
 		var x *graph.ViewExtractor
 		if n > 0 && !dec.RandIgnoresView {
@@ -387,6 +411,15 @@ func EvalTrials(dec TrialDecider, l *graph.Labeled, opts TrialOptions) (TrialSta
 		for {
 			t := int(next.Add(1)) - 1
 			if t >= opts.Trials || stop.Load() {
+				break
+			}
+			if canceled() {
+				mu.Lock()
+				if sweepErr == nil {
+					sweepErr = fmt.Errorf("engine: trial sweep canceled: %w", opts.Ctx.Err())
+				}
+				stop.Store(true)
+				mu.Unlock()
 				break
 			}
 			verdict, err := runTrial(t, x, coins, &decided)

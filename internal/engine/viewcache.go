@@ -23,6 +23,13 @@ import (
 // with a single critical section per lookup-or-insert (the fix for the
 // seed-era double lock acquisition per miss).
 //
+// A cache built with NewBoundedViewCache additionally carries a byte budget:
+// every entry is byte-accounted (code bytes + decider name + a fixed
+// per-entry overhead) and a per-shard CLOCK sweep evicts cold entries to
+// admit new ones, so a resident service can keep one cache alive for weeks
+// without unbounded growth. Eviction is an accelerator decision, never a
+// soundness one — an evicted verdict is recomputed on the next miss.
+//
 // Soundness: sharing a verdict across evaluations assumes (a) the decider is
 // a deterministic function of the view's isomorphism class — the LOCAL
 // model's contract for Id-oblivious deciders — and (b) a decider name
@@ -33,14 +40,41 @@ import (
 type ViewCache struct {
 	shards [cacheShardCount]cacheShard
 
-	// hits/misses/rejects are the observability counters behind Stats():
-	// verdicts served from the cache, verdicts the cache had to compute, and
-	// entries evicted by the integrity guard. Atomic so readers never block
-	// the striped shard locks.
-	hits    atomic.Int64
-	misses  atomic.Int64
-	rejects atomic.Int64
+	// bounded/capShard carry the byte budget: capShard is the per-shard
+	// slice of the total capacity handed to NewBoundedViewCache. An
+	// unbounded cache (NewViewCache) keeps the historical per-shard entry
+	// cap instead.
+	bounded  bool
+	capShard int64
+
+	// persist, when set, is invoked after each canonical-layer insert —
+	// the write-behind hook the persistent verdict store attaches to. See
+	// SetPersist.
+	persist PersistFunc
+
+	// hits/misses/rejects/evictions are the observability counters behind
+	// Stats(): verdicts served from the cache, verdicts the cache had to
+	// compute, entries discarded by the integrity guard, and entries
+	// evicted by the capacity CLOCK. Atomic so readers never block the
+	// striped shard locks.
+	hits      atomic.Int64
+	misses    atomic.Int64
+	rejects   atomic.Int64
+	evictions atomic.Int64
 }
+
+// PersistFunc is the write-behind persistence hook: called once per fresh
+// canonical verdict insert with the cache-owned copy of the code bytes. The
+// callee must treat code as read-only and MUST NOT block — the hook runs on
+// the eval hot path (outside the shard lock); a persistent store enqueues to
+// a bounded queue and drops on overflow rather than stalling evaluation.
+type PersistFunc func(decider string, horizon int, code []byte, verdict Verdict)
+
+// SetPersist attaches the write-behind persistence hook. It must be called
+// before the cache is shared across goroutines (wire-up time, not serving
+// time); raw-layer entries are process-local accelerators and are never
+// persisted.
+func (c *ViewCache) SetPersist(fn PersistFunc) { c.persist = fn }
 
 // CacheStats is a point-in-time snapshot of a ViewCache's counters.
 type CacheStats struct {
@@ -52,70 +86,84 @@ type CacheStats struct {
 	// bytes that no longer hash to their bucket fingerprint (corruption).
 	// Each reject degrades to a miss, never to a wrong verdict.
 	Rejects int64
+	// Evictions counts entries (canonical and raw) evicted by the byte-
+	// capacity CLOCK of a bounded cache. Always 0 for unbounded caches.
+	Evictions int64
 	// Entries is the cache's canonical-verdict entry count (Len).
 	Entries int
+	// RawEntries is the first-level raw-structure entry count (an
+	// accelerator layer, not counted by Len).
+	RawEntries int
+	// Bytes is the accounted size of all live entries (code bytes +
+	// decider names + fixed per-entry overhead) across both layers.
+	Bytes int64
+	// Capacity is the cache's total byte budget; 0 means unbounded.
+	Capacity int64
 }
 
-// Stats snapshots the cache's hit/miss/reject counters and entry count. The
-// counters accumulate across every evaluation sharing the cache; resident
-// services (and localsim -summary) read them for observability.
+// Stats snapshots the cache's counters, entry counts and byte accounting.
+// The counters accumulate across every evaluation sharing the cache;
+// resident services (cmd/decided's /statsz, localsim -summary) read them for
+// observability.
 func (c *ViewCache) Stats() CacheStats {
-	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Rejects: c.rejects.Load(),
-		Entries: c.Len(),
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Rejects:   c.rejects.Load(),
+		Evictions: c.evictions.Load(),
 	}
-}
-
-// verifyEntries is the integrity guard: it re-hashes every candidate entry's
-// stored code bytes against the hash recorded when the entry was inserted and
-// evicts entries that fail — a corrupted entry (torn write, stray memory
-// corruption, a future persistence layer's bad read) becomes a counted reject
-// and a recompute, never a poisoned verdict shared across runs. The recorded
-// hash is the entry's own byte hash, not the bucket fingerprint, so genuine
-// fingerprint collisions (different bytes, same bucket) verify cleanly.
-// Callers hold the shard lock. It returns the surviving entry slice.
-func (c *ViewCache) verifyEntries(s *cacheShard, key cacheKey) []cacheEntry {
-	entries := s.m[key]
-	for i := 0; i < len(entries); {
-		if graph.Fingerprint(entries[i].code) != entries[i].sum {
-			entries[i] = entries[len(entries)-1]
-			entries = entries[:len(entries)-1]
-			if key.raw {
-				s.rawEntries--
-			} else {
-				s.entries--
-			}
-			c.rejects.Add(1)
-			continue
-		}
-		i++
+	if c.bounded {
+		st.Capacity = c.capShard * cacheShardCount
 	}
-	if len(entries) == 0 {
-		delete(s.m, key)
-		return nil
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.entries
+		st.RawEntries += s.rawEntries
+		st.Bytes += s.bytes
+		s.mu.Unlock()
 	}
-	s.m[key] = entries
-	return entries
+	return st
 }
 
 // cacheShardCount is a power of two so shard selection is a mask. 64 shards
 // keep worker collisions rare at any plausible GOMAXPROCS.
 const cacheShardCount = 64
 
-// cacheShardMaxEntries bounds each shard. A full shard serves hits but
-// declines inserts (callers decide directly) — the cache silently degrades
-// rather than growing without bound across long sweeps.
+// cacheShardMaxEntries bounds each shard of an UNBOUNDED cache. A full shard
+// serves hits but declines inserts (callers decide directly) — the cache
+// silently degrades rather than growing without bound across long sweeps.
+// Bounded caches replace this entry cap with the byte-accounted CLOCK.
 const cacheShardMaxEntries = 1 << 15
 
+// entryOverheadBytes is the fixed accounting charge per cache entry on top
+// of its variable bytes (code + decider name): the entry struct, its slot,
+// the index int32 and amortised map bucket space. A round number chosen to
+// over- rather than under-estimate, so the configured capacity bounds true
+// memory growth.
+const entryOverheadBytes = 96
+
+// cacheShard is one lock stripe. The two maps are the two storage layouts —
+// exactly one is non-nil, fixed at construction. Unbounded caches (the
+// engine's default Dedup path) store entries inline in mi: the lean layout
+// with no indirection on the hot lookup. Bounded caches store slot indices
+// in m over the slots arena: the arena gives the CLOCK eviction sweep a flat
+// iteration target (map iteration order is neither stable nor resumable) and
+// recycles slots through a free list so steady-state eviction allocates
+// nothing.
 type cacheShard struct {
-	mu      sync.Mutex
-	m       map[cacheKey][]cacheEntry
-	entries int
-	// rawEntries counts first-level raw-structure entries, capped separately
-	// so the raw layer can never crowd out canonical verdicts (or vice
-	// versa). Raw entries are an accelerator: not reported by Len.
+	mu    sync.Mutex
+	mi    map[cacheKey][]cacheEntry // unbounded layout: entries inline
+	m     map[cacheKey][]int32      // bounded layout: indices into slots
+	slots []cacheEntry
+	free  []int32
+	hand  int   // CLOCK hand: next slot the eviction sweep examines
+	bytes int64 // accounted bytes of all live entries
+	// entries counts live canonical entries; rawEntries counts first-level
+	// raw-structure entries, capped separately in unbounded mode so the
+	// raw layer can never crowd out canonical verdicts (or vice versa).
+	// Raw entries are an accelerator: not reported by Len.
+	entries    int
 	rawEntries int
 }
 
@@ -132,22 +180,58 @@ type cacheKey struct {
 	raw     bool
 }
 
+// cacheEntry is one cached verdict — stored inline in mi (unbounded) or as
+// a slot of the shard's arena (bounded). key/live/ref are arena-only and
+// stay zero inline: live distinguishes occupied slots from free-listed
+// ones; ref is the CLOCK reference bit, set on every hit and cleared by the
+// sweep, so an entry survives one full hand rotation after its last hit
+// before becoming an eviction candidate.
 type cacheEntry struct {
+	key     cacheKey
 	code    []byte // full code bytes (canonical or raw): collision verification
 	sum     uint64 // hash of code at insert time: the integrity guard's reference
 	verdict Verdict
+	live    bool
+	ref     bool
 }
 
-// NewViewCache returns an empty cache ready for concurrent use.
+// entryBytes is the accounting size of an entry under a key.
+func entryBytes(key cacheKey, code []byte) int64 {
+	return int64(len(code)) + int64(len(key.decider)) + entryOverheadBytes
+}
+
+// NewViewCache returns an empty unbounded cache ready for concurrent use
+// (per-shard entry count still capped, as always, so it cannot grow without
+// limit — but nothing is ever evicted). Unbounded shards store entries
+// inline in the map — the lean layout the default Dedup path has always
+// had; only bounded caches pay for the slot arena the CLOCK sweep needs.
 func NewViewCache() *ViewCache {
 	c := &ViewCache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[cacheKey][]cacheEntry)
+		c.shards[i].mi = make(map[cacheKey][]cacheEntry)
 	}
 	return c
 }
 
-// Len returns the total number of cached verdicts across all shards.
+// NewBoundedViewCache returns an empty cache with a total byte budget:
+// entries are byte-accounted and a per-shard CLOCK sweep evicts cold entries
+// once the budget is reached, so the accounted size never exceeds capBytes.
+// The budget is split evenly across the 64 shards; a capBytes smaller than
+// 64 × one entry's footprint admits nothing (correct, if useless). A
+// capBytes <= 0 panics — use NewViewCache for an unbounded cache.
+func NewBoundedViewCache(capBytes int64) *ViewCache {
+	if capBytes <= 0 {
+		panic("engine: NewBoundedViewCache needs a positive byte capacity")
+	}
+	c := &ViewCache{bounded: true, capShard: capBytes / cacheShardCount}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey][]int32)
+	}
+	return c
+}
+
+// Len returns the total number of cached canonical verdicts across all
+// shards.
 func (c *ViewCache) Len() int {
 	total := 0
 	for i := range c.shards {
@@ -159,44 +243,260 @@ func (c *ViewCache) Len() int {
 	return total
 }
 
+// shardFor selects the lock stripe of a fingerprint.
+func (c *ViewCache) shardFor(fp uint64) *cacheShard {
+	return &c.shards[fp&(cacheShardCount-1)]
+}
+
+// findVerified scans the key's entries for an exact byte match, evicting any
+// entry whose stored bytes no longer hash to their recorded sum (the
+// integrity guard: a corrupted entry becomes a counted reject and a
+// recompute, never a poisoned verdict). In the bounded layout a match sets
+// the CLOCK reference bit. Callers hold the shard lock.
+func (c *ViewCache) findVerified(s *cacheShard, key cacheKey, code []byte) (Verdict, bool) {
+	if !c.bounded {
+		return c.findVerifiedInline(s, key, code)
+	}
+	idxs := s.m[key]
+	for i := 0; i < len(idxs); {
+		e := &s.slots[idxs[i]]
+		if graph.Fingerprint(e.code) != e.sum {
+			c.dropAt(s, key, i)
+			idxs = s.m[key]
+			c.rejects.Add(1)
+			continue
+		}
+		if bytes.Equal(e.code, code) {
+			e.ref = true
+			return e.verdict, true
+		}
+		i++
+	}
+	return No, false
+}
+
+// findVerifiedInline is findVerified over the unbounded inline layout:
+// corrupt entries are swap-deleted from the map slice directly, and the
+// slice is written back only when something was culled — the hit path
+// touches the map once.
+func (c *ViewCache) findVerifiedInline(s *cacheShard, key cacheKey, code []byte) (Verdict, bool) {
+	entries := s.mi[key]
+	verdict, found := No, false
+	culled := false
+	for i := 0; i < len(entries); {
+		e := &entries[i]
+		if graph.Fingerprint(e.code) != e.sum {
+			s.bytes -= entryBytes(key, e.code)
+			if key.raw {
+				s.rawEntries--
+			} else {
+				s.entries--
+			}
+			entries[i] = entries[len(entries)-1]
+			entries = entries[:len(entries)-1]
+			culled = true
+			c.rejects.Add(1)
+			continue
+		}
+		if bytes.Equal(e.code, code) {
+			verdict, found = e.verdict, true
+			break
+		}
+		i++
+	}
+	if culled {
+		if len(entries) == 0 {
+			delete(s.mi, key)
+		} else {
+			s.mi[key] = entries
+		}
+	}
+	return verdict, found
+}
+
+// dropAt removes the entry at position pos of key's index slice, releasing
+// its slot and its byte accounting. Callers hold the shard lock and count
+// the removal (reject or eviction) themselves.
+func (c *ViewCache) dropAt(s *cacheShard, key cacheKey, pos int) {
+	idxs := s.m[key]
+	slot := idxs[pos]
+	idxs[pos] = idxs[len(idxs)-1]
+	idxs = idxs[:len(idxs)-1]
+	if len(idxs) == 0 {
+		delete(s.m, key)
+	} else {
+		s.m[key] = idxs
+	}
+	e := &s.slots[slot]
+	s.bytes -= entryBytes(key, e.code)
+	if key.raw {
+		s.rawEntries--
+	} else {
+		s.entries--
+	}
+	*e = cacheEntry{}
+	s.free = append(s.free, slot)
+}
+
+// evictSlot is dropAt addressed by slot rather than key position — the CLOCK
+// sweep's removal path. Callers hold the shard lock.
+func (c *ViewCache) evictSlot(s *cacheShard, slot int32) {
+	e := &s.slots[slot]
+	for pos, ix := range s.m[e.key] {
+		if ix == slot {
+			c.dropAt(s, e.key, pos)
+			c.evictions.Add(1)
+			return
+		}
+	}
+}
+
+// makeRoom decides whether an entry of the given size may be inserted,
+// evicting via the CLOCK sweep when the cache is bounded. Unbounded caches
+// keep the historical per-shard entry cap. Callers hold the shard lock.
+func (c *ViewCache) makeRoom(s *cacheShard, key cacheKey, need int64) bool {
+	if !c.bounded {
+		if key.raw {
+			return s.rawEntries < cacheShardMaxEntries
+		}
+		return s.entries < cacheShardMaxEntries
+	}
+	if need > c.capShard {
+		return false // larger than a whole shard's budget: decide directly
+	}
+	// CLOCK: advance the hand, clearing reference bits; evict the first
+	// unreferenced live entry, repeating until the new entry fits. Two full
+	// rotations suffice (the first clears every bit, the second evicts), so
+	// the scan guard below can only fire on accounting corruption.
+	scanned, limit := 0, 2*len(s.slots)+2
+	for s.bytes+need > c.capShard {
+		if s.entries+s.rawEntries == 0 {
+			return s.bytes+need <= c.capShard
+		}
+		if s.hand >= len(s.slots) {
+			s.hand = 0
+		}
+		e := &s.slots[s.hand]
+		if e.live {
+			if e.ref {
+				e.ref = false
+			} else {
+				c.evictSlot(s, int32(s.hand))
+			}
+		}
+		s.hand++
+		if scanned++; scanned > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// storeEntry inserts an owned entry, assuming makeRoom approved it. Callers
+// hold the shard lock.
+func (c *ViewCache) storeEntry(s *cacheShard, key cacheKey, owned []byte, verdict Verdict) {
+	if !c.bounded {
+		s.mi[key] = append(s.mi[key], cacheEntry{
+			code:    owned,
+			sum:     graph.Fingerprint(owned),
+			verdict: verdict,
+		})
+	} else {
+		var slot int32
+		if n := len(s.free); n > 0 {
+			slot = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			if len(s.slots) == cap(s.slots) {
+				// Grow the arena in explicit steps (min 32 slots) rather than
+				// through append's 1→2→4→… chain: entries carry pointers, and
+				// re-copying them at every doubling costs write barriers and
+				// GC scan work on exactly the cold-sweep path the miss
+				// benchmark gates.
+				grown := make([]cacheEntry, len(s.slots), max(32, 2*cap(s.slots)))
+				copy(grown, s.slots)
+				s.slots = grown
+			}
+			s.slots = append(s.slots, cacheEntry{})
+			slot = int32(len(s.slots) - 1)
+		}
+		s.slots[slot] = cacheEntry{
+			key:     key,
+			code:    owned,
+			sum:     graph.Fingerprint(owned),
+			verdict: verdict,
+			live:    true,
+		}
+		s.m[key] = append(s.m[key], slot)
+	}
+	s.bytes += entryBytes(key, owned)
+	if key.raw {
+		s.rawEntries++
+	} else {
+		s.entries++
+	}
+}
+
 // lookupOrCompute returns the verdict for code under (decider, horizon),
 // computing and inserting it on a miss. computed reports whether this call
 // ran compute; stored whether the result entered the cache (false when the
-// shard is at its cap). The whole lookup-or-insert is one critical section
-// on the code's shard: on a miss the decider runs under the shard lock,
-// which serialises same-shard misses but removes the second lock
+// shard declines the insert — entry cap in unbounded mode, an entry larger
+// than the shard budget in bounded mode). The whole lookup-or-insert is one
+// critical section on the code's shard: on a miss the decider runs under the
+// shard lock, which serialises same-shard misses but removes the second lock
 // acquisition and the duplicated decide the seed-era cache allowed. In the
-// dedup regime misses are rare by construction (that is the regime's
-// point), and the fingerprint striping keeps first-run miss storms spread
-// over the shards.
+// dedup regime misses are rare by construction (that is the regime's point),
+// and the fingerprint striping keeps first-run miss storms spread over the
+// shards.
 //
 // code.Bytes is cloned before compute runs: the bytes alias the caller's
 // CodeWorkspace, and a decider that computes further codes (benchmarks and
 // code-hashing deciders do) rewrites that buffer mid-compute.
 func (c *ViewCache) lookupOrCompute(decider string, horizon int, code graph.Code,
 	compute func() Verdict) (verdict Verdict, computed, stored bool) {
-	s := &c.shards[code.Fingerprint&(cacheShardCount-1)]
+	s := c.shardFor(code.Fingerprint)
 	key := cacheKey{decider: decider, horizon: horizon, fp: code.Fingerprint}
 	s.mu.Lock()
-	for _, e := range c.verifyEntries(s, key) {
-		if bytes.Equal(e.code, code.Bytes) {
-			verdict = e.verdict
-			s.mu.Unlock()
-			c.hits.Add(1)
-			return verdict, false, false
-		}
+	if v, ok := c.findVerified(s, key, code.Bytes); ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, false, false
 	}
 	c.misses.Add(1)
-	if s.entries >= cacheShardMaxEntries {
+	owned := append([]byte(nil), code.Bytes...)
+	if !c.makeRoom(s, key, entryBytes(key, owned)) {
 		s.mu.Unlock()
 		return compute(), true, false
 	}
-	defer s.mu.Unlock()
-	owned := append([]byte(nil), code.Bytes...)
 	verdict = compute()
-	s.m[key] = append(s.m[key], cacheEntry{code: owned, sum: graph.Fingerprint(owned), verdict: verdict})
-	s.entries++
+	c.storeEntry(s, key, owned, verdict)
+	s.mu.Unlock()
+	if c.persist != nil {
+		c.persist(decider, horizon, owned, verdict)
+	}
 	return verdict, true, true
+}
+
+// Insert records an externally computed canonical verdict — the warm-up path
+// a persistent store replays recovered records through at startup. It
+// reports whether the entry was stored (false when an equal entry already
+// exists or the shard declines it). The persistence hook is deliberately NOT
+// invoked: records arriving from the store must not echo back into it.
+func (c *ViewCache) Insert(decider string, horizon int, code []byte, verdict Verdict) bool {
+	fp := graph.Fingerprint(code)
+	s := c.shardFor(fp)
+	key := cacheKey{decider: decider, horizon: horizon, fp: fp}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := c.findVerified(s, key, code); ok {
+		return false
+	}
+	owned := append([]byte(nil), code...)
+	if !c.makeRoom(s, key, entryBytes(key, owned)) {
+		return false
+	}
+	c.storeEntry(s, key, owned, verdict)
+	return true
 }
 
 // lookupRaw consults the first-level raw-structure layer: verdicts keyed by
@@ -206,15 +506,13 @@ func (c *ViewCache) lookupOrCompute(decider string, horizon int, code graph.Code
 // views whose structure repeats only up to isomorphism; callers fall back to
 // the canonical-code layer.
 func (c *ViewCache) lookupRaw(decider string, horizon int, raw graph.Code) (Verdict, bool) {
-	s := &c.shards[raw.Fingerprint&(cacheShardCount-1)]
+	s := c.shardFor(raw.Fingerprint)
 	key := cacheKey{decider: decider, horizon: horizon, fp: raw.Fingerprint, raw: true}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, e := range c.verifyEntries(s, key) {
-		if bytes.Equal(e.code, raw.Bytes) {
-			c.hits.Add(1)
-			return e.verdict, true
-		}
+	if v, ok := c.findVerified(s, key, raw.Bytes); ok {
+		c.hits.Add(1)
+		return v, true
 	}
 	// A raw miss is not counted: the caller falls through to the canonical
 	// layer, whose lookup tallies the hit or miss for the whole decision.
@@ -223,22 +521,30 @@ func (c *ViewCache) lookupRaw(decider string, horizon int, raw graph.Code) (Verd
 
 // storeRaw records a verdict under a view's raw-structure key so future
 // byte-identical extractions skip the canonical code entirely. Raw entries
-// obey their own per-shard cap; beyond it the raw layer degrades to a
+// obey the same capacity regime as canonical ones (entry cap unbounded,
+// byte-accounted CLOCK bounded); beyond it the raw layer degrades to a
 // pass-through and the canonical layer still serves.
 func (c *ViewCache) storeRaw(decider string, horizon int, raw graph.Code, verdict Verdict) {
-	s := &c.shards[raw.Fingerprint&(cacheShardCount-1)]
+	s := c.shardFor(raw.Fingerprint)
 	key := cacheKey{decider: decider, horizon: horizon, fp: raw.Fingerprint, raw: true}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.rawEntries >= cacheShardMaxEntries {
-		return
-	}
-	for _, e := range s.m[key] {
-		if bytes.Equal(e.code, raw.Bytes) {
-			return // another worker stored it first
+	if c.bounded {
+		for _, ix := range s.m[key] {
+			if bytes.Equal(s.slots[ix].code, raw.Bytes) {
+				return // another worker stored it first
+			}
+		}
+	} else {
+		for i := range s.mi[key] {
+			if bytes.Equal(s.mi[key][i].code, raw.Bytes) {
+				return // another worker stored it first
+			}
 		}
 	}
 	owned := append([]byte(nil), raw.Bytes...)
-	s.m[key] = append(s.m[key], cacheEntry{code: owned, sum: graph.Fingerprint(owned), verdict: verdict})
-	s.rawEntries++
+	if !c.makeRoom(s, key, entryBytes(key, owned)) {
+		return
+	}
+	c.storeEntry(s, key, owned, verdict)
 }

@@ -1,0 +1,582 @@
+// Package store implements the crash-safe persistent verdict store behind
+// the decided service: an append-only record log keyed by the engine's
+// (decider, horizon, canonical code) triple. Every record is length-prefixed
+// and CRC32C-checksummed so a torn write — the tail a SIGKILL or power cut
+// leaves behind — is detected on open and truncated away rather than served.
+//
+// The store is deliberately engine-free: it deals in Records of raw bytes and
+// a boolean verdict. The decided server wires it to the engine's ViewCache
+// via the cache's persist hook (write-behind) and Insert warm-up (recovery).
+//
+// Wire format, little-endian throughout:
+//
+//	record  := [4B payloadLen][4B CRC32C(payload)][payload]
+//	payload := [1B schema][1B verdict][4B horizon][2B deciderLen][decider]
+//	           [4B codeLen][code]
+//
+// Recovery scans the log from the start, verifying each frame. The scan
+// stops — and the file is truncated — at the first record whose frame is
+// torn (short) or whose checksum fails: everything after a torn record is
+// untrustworthy because the append offset itself is in doubt. A record that
+// frames and checksums correctly but carries an unknown schema version is
+// skipped and counted instead: the bytes are intact, only the encoding is
+// from the future, so later records remain trustworthy.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SchemaVersion is the record-payload encoding version written by this
+// package. Open skips (never serves, never truncates at) well-framed records
+// with a different version.
+const SchemaVersion = 1
+
+// frameHeaderBytes is the fixed per-record framing overhead: 4-byte payload
+// length plus 4-byte CRC32C of the payload.
+const frameHeaderBytes = 8
+
+// maxPayloadBytes bounds a single record's payload. Canonical codes are a
+// few dozen bytes in practice; the cap exists so a corrupt length prefix
+// cannot drive recovery (or an attacker-controlled log) into a giant
+// allocation — an implausible length is treated as corruption.
+const maxPayloadBytes = 1 << 20
+
+// castagnoli is the CRC32C table; Castagnoli rather than IEEE because it is
+// the polynomial with hardware support on amd64/arm64 — checksumming must be
+// cheap enough to sit on the persistence path of every verdict.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one persisted verdict: the engine's (decider, horizon, code)
+// cache key plus the boolean verdict it resolved to.
+type Record struct {
+	// Decider names the decider that produced the verdict.
+	Decider string
+	// Horizon is the view radius the decider ran at.
+	Horizon int
+	// Code is the canonical view code the verdict was computed for.
+	Code []byte
+	// Verdict is true for Yes, false for No.
+	Verdict bool
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Records is the number of live records (recovered + appended, after
+	// in-memory dedup).
+	Records int
+	// Appended counts records durably handed to the flusher since Open.
+	Appended int64
+	// QueueDrops counts Put calls dropped because the write-behind queue was
+	// full. Dropped verdicts are recomputed on the next cold start — a
+	// throughput hit, never a correctness hit.
+	QueueDrops int64
+	// Recovered is the number of valid records read back at Open.
+	Recovered int
+	// SkippedSchema counts well-framed records dropped at Open for carrying
+	// an unknown schema version.
+	SkippedSchema int
+	// TruncatedBytes is the number of trailing bytes cut at Open because the
+	// first torn or checksum-corrupt record began there.
+	TruncatedBytes int64
+	// Flushes counts explicit and batch fsync cycles completed.
+	Flushes int64
+}
+
+// Options configures Open.
+type Options struct {
+	// QueueDepth bounds the write-behind queue. 0 means a default of 1024.
+	// When the queue is full, Put drops the record and counts a QueueDrop
+	// instead of blocking the eval hot path.
+	QueueDepth int
+	// SyncEvery makes the flusher fsync after every batch it drains when
+	// true. When false, data still reaches the kernel on every batch; fsync
+	// happens on Flush, Compact, and Close. Chaos tests run with true.
+	SyncEvery bool
+}
+
+// Store is an append-only, crash-safe verdict log with a write-behind
+// flusher. All methods are safe for concurrent use.
+type Store struct {
+	path string
+	opts Options
+
+	mu    sync.Mutex      // guards known, stats, testGate
+	known map[string]bool // key() → verdict, in-memory dedup + warm-up source
+	stats Stats
+
+	// wmu serialises every use of file (append, sync, compaction swap,
+	// close). It is separate from mu so Put — which only touches the dedup
+	// map — never waits behind a disk write. Compact acquires wmu before mu;
+	// no other path holds both at once.
+	wmu  sync.Mutex
+	file *os.File
+
+	// testGate, when set (under mu) by tests, stalls the flusher before each
+	// batch write so overflow behaviour can be exercised deterministically.
+	testGate chan struct{}
+
+	queue    chan Record
+	flushReq chan chan error
+	done     chan struct{}
+	closed   chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// key builds the dedup map key. Horizon and decider-length are encoded so
+// ("ab", code) and ("a", "b"+code) cannot collide.
+func key(r Record) string {
+	var pre [10]byte
+	binary.LittleEndian.PutUint32(pre[0:], uint32(r.Horizon))
+	binary.LittleEndian.PutUint16(pre[4:], uint16(len(r.Decider)))
+	binary.LittleEndian.PutUint32(pre[6:], uint32(len(r.Code)))
+	return string(pre[:]) + r.Decider + string(r.Code)
+}
+
+// encode appends the framed wire encoding of r to buf and returns the
+// extended slice.
+func encode(buf []byte, r Record) []byte {
+	payloadLen := 1 + 1 + 4 + 2 + len(r.Decider) + 4 + len(r.Code)
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(payloadLen))
+	start := len(buf)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, SchemaVersion)
+	if r.Verdict {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(r.Horizon))
+	buf = append(buf, u32[:]...)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(r.Decider)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, r.Decider...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Code)))
+	buf = append(buf, u32[:]...)
+	buf = append(buf, r.Code...)
+	sum := crc32.Checksum(buf[start+frameHeaderBytes:], castagnoli)
+	binary.LittleEndian.PutUint32(buf[start+4:], sum)
+	return buf
+}
+
+// errSchema marks a well-framed payload with an unknown schema version; the
+// recovery scan skips such records instead of truncating.
+var errSchema = errors.New("store: unknown schema version")
+
+// decodePayload parses a checksummed payload into a Record.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 12 {
+		return Record{}, fmt.Errorf("store: payload too short: %d bytes", len(p))
+	}
+	if p[0] != SchemaVersion {
+		return Record{}, fmt.Errorf("%w: %d", errSchema, p[0])
+	}
+	r := Record{Verdict: p[1] != 0}
+	r.Horizon = int(binary.LittleEndian.Uint32(p[2:]))
+	dl := int(binary.LittleEndian.Uint16(p[6:]))
+	if len(p) < 12+dl {
+		return Record{}, fmt.Errorf("store: decider length %d overruns payload", dl)
+	}
+	r.Decider = string(p[8 : 8+dl])
+	cl := int(binary.LittleEndian.Uint32(p[8+dl:]))
+	if len(p) != 12+dl+cl {
+		return Record{}, fmt.Errorf("store: code length %d mismatches payload", cl)
+	}
+	r.Code = append([]byte(nil), p[12+dl:]...)
+	return r, nil
+}
+
+// Open opens (creating if absent) the verdict log at path, runs the recovery
+// scan, truncates any torn tail, and starts the write-behind flusher.
+func Open(path string, opts Options) (*Store, error) {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	s := &Store{
+		path:     path,
+		opts:     opts,
+		file:     f,
+		known:    make(map[string]bool),
+		queue:    make(chan Record, opts.QueueDepth),
+		flushReq: make(chan chan error, 1),
+		done:     make(chan struct{}),
+		closed:   make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	go s.flusher()
+	return s, nil
+}
+
+// recover scans the log, loads valid records into the dedup map, and
+// truncates the file at the first torn or checksum-corrupt record.
+func (s *Store) recover() error {
+	data, err := io.ReadAll(s.file)
+	if err != nil {
+		return fmt.Errorf("store: recovery read: %w", err)
+	}
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break
+		}
+		if len(rest) < frameHeaderBytes {
+			break // torn header
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(rest[0:]))
+		if payloadLen > maxPayloadBytes || payloadLen < 12 {
+			break // implausible length prefix: corrupt
+		}
+		if len(rest) < frameHeaderBytes+payloadLen {
+			break // torn payload
+		}
+		wantSum := binary.LittleEndian.Uint32(rest[4:])
+		payload := rest[frameHeaderBytes : frameHeaderBytes+payloadLen]
+		if crc32.Checksum(payload, castagnoli) != wantSum {
+			break // flipped bits: corrupt
+		}
+		r, derr := decodePayload(payload)
+		if derr != nil {
+			if errors.Is(derr, errSchema) {
+				// Intact frame from a future encoder: skip, keep scanning.
+				s.stats.SkippedSchema++
+				off += frameHeaderBytes + payloadLen
+				continue
+			}
+			break // internal lengths disagree with the frame: corrupt
+		}
+		s.known[key(r)] = r.Verdict
+		s.stats.Recovered++
+		off += frameHeaderBytes + payloadLen
+	}
+	s.stats.Records = len(s.known)
+	if off < len(data) {
+		s.stats.TruncatedBytes = int64(len(data) - off)
+		if err := s.file.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := s.file.Seek(int64(off), io.SeekStart); err != nil {
+		return fmt.Errorf("store: seek append offset: %w", err)
+	}
+	return nil
+}
+
+// Put enqueues a record for asynchronous persistence. It never blocks: a
+// full queue drops the record (counted in QueueDrops), and a record already
+// known (same key) is deduplicated away. The returned bool reports whether
+// the record was accepted for persistence.
+func (s *Store) Put(r Record) bool {
+	k := key(r)
+	s.mu.Lock()
+	if _, dup := s.known[k]; dup {
+		s.mu.Unlock()
+		return false
+	}
+	// Mark known before enqueueing so a concurrent Put of the same key
+	// dedups against this one; unmark on drop so it can retry later.
+	s.known[k] = r.Verdict
+	s.stats.Records = len(s.known)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- r:
+		return true
+	default:
+	}
+	s.mu.Lock()
+	delete(s.known, k)
+	s.stats.Records = len(s.known)
+	s.stats.QueueDrops++
+	s.mu.Unlock()
+	return false
+}
+
+// Get reports the verdict stored for the key of r (its Verdict field is
+// ignored) and whether one exists.
+func (s *Store) Get(decider string, horizon int, code []byte) (verdict, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.known[key(Record{Decider: decider, Horizon: horizon, Code: code})]
+	return v, ok
+}
+
+// ForEach calls fn for every live record key currently known, in no
+// particular order. It is intended for cache warm-up at startup. The code
+// slice passed to fn must not be retained.
+func (s *Store) ForEach(fn func(r Record)) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.known))
+	verdicts := make([]bool, 0, len(s.known))
+	for k, v := range s.known {
+		keys = append(keys, k)
+		verdicts = append(verdicts, v)
+	}
+	s.mu.Unlock()
+	for i, k := range keys {
+		r, err := recordFromKey(k)
+		if err != nil {
+			continue
+		}
+		r.Verdict = verdicts[i]
+		fn(r)
+	}
+}
+
+// recordFromKey inverts key(): the dedup key embeds every field but the
+// verdict.
+func recordFromKey(k string) (Record, error) {
+	if len(k) < 10 {
+		return Record{}, errors.New("store: malformed dedup key")
+	}
+	var r Record
+	r.Horizon = int(binary.LittleEndian.Uint32([]byte(k[0:4])))
+	dl := int(binary.LittleEndian.Uint16([]byte(k[4:6])))
+	cl := int(binary.LittleEndian.Uint32([]byte(k[6:10])))
+	if len(k) != 10+dl+cl {
+		return Record{}, errors.New("store: malformed dedup key lengths")
+	}
+	r.Decider = k[10 : 10+dl]
+	r.Code = []byte(k[10+dl:])
+	return r, nil
+}
+
+// flusher is the write-behind goroutine: it drains the queue in batches,
+// writes them with a single syscall, and fsyncs per Options.SyncEvery or on
+// explicit Flush requests.
+func (s *Store) flusher() {
+	defer close(s.closed)
+	buf := make([]byte, 0, 4096)
+	for {
+		select {
+		case r := <-s.queue:
+			buf = s.writeBatch(buf[:0], r)
+		case ack := <-s.flushReq:
+			ack <- s.drainAndSync(buf[:0])
+		case <-s.done:
+			// Final drain: persist everything still queued, then sync.
+			s.drainAndSync(buf[:0])
+			return
+		}
+	}
+}
+
+// writeBatch encodes first plus everything else currently queued and writes
+// the batch in one call.
+func (s *Store) writeBatch(buf []byte, first Record) []byte {
+	s.mu.Lock()
+	gate := s.testGate
+	s.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	buf = encode(buf, first)
+	n := 1
+	for more := true; more; {
+		select {
+		case r := <-s.queue:
+			buf = encode(buf, r)
+			n++
+		default:
+			more = false
+		}
+	}
+	s.wmu.Lock()
+	if s.file == nil {
+		s.wmu.Unlock()
+		return buf
+	}
+	_, werr := s.file.Write(buf)
+	synced := false
+	if werr == nil && s.opts.SyncEvery {
+		synced = s.file.Sync() == nil
+	}
+	s.wmu.Unlock()
+	if werr != nil {
+		// A failed append leaves the log merely shorter — recovery semantics
+		// make that safe. Count the records as never appended.
+		return buf
+	}
+	s.mu.Lock()
+	s.stats.Appended += int64(n)
+	if synced {
+		s.stats.Flushes++
+	}
+	s.mu.Unlock()
+	return buf
+}
+
+// drainAndSync empties the queue, writes what it found, and fsyncs.
+func (s *Store) drainAndSync(buf []byte) error {
+	n := 0
+	for more := true; more; {
+		select {
+		case r := <-s.queue:
+			buf = encode(buf, r)
+			n++
+		default:
+			more = false
+		}
+	}
+	s.wmu.Lock()
+	if s.file == nil {
+		s.wmu.Unlock()
+		return errors.New("store: closed")
+	}
+	if n > 0 {
+		if _, err := s.file.Write(buf); err != nil {
+			s.wmu.Unlock()
+			return fmt.Errorf("store: flush write: %w", err)
+		}
+	}
+	serr := s.file.Sync()
+	s.wmu.Unlock()
+	if serr != nil {
+		return fmt.Errorf("store: fsync: %w", serr)
+	}
+	s.mu.Lock()
+	s.stats.Appended += int64(n)
+	s.stats.Flushes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Flush blocks until every record enqueued before the call is written and
+// fsynced.
+func (s *Store) Flush() error {
+	ack := make(chan error, 1)
+	select {
+	case s.flushReq <- ack:
+		select {
+		case err := <-ack:
+			return err
+		case <-s.closed:
+			return errors.New("store: closed during flush")
+		}
+	case <-s.closed:
+		return errors.New("store: closed")
+	}
+}
+
+// Compact rewrites the log to contain exactly the live (deduplicated)
+// records, via a temp file and atomic rename, reclaiming space from dropped
+// duplicates and skipped-schema records. The store remains usable after.
+func (s *Store) Compact() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	// Holding wmu stalls flusher appends for the duration: any record enqueued
+	// after the snapshot below waits and lands in the new file. The snapshot
+	// itself covers every accepted Put — known is marked before enqueue — so
+	// no record can slip into the old file and miss the rewrite.
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.file == nil {
+		return errors.New("store: closed")
+	}
+	s.mu.Lock()
+	buf := make([]byte, 0, 4096)
+	live := make([]Record, 0, len(s.known))
+	for k, v := range s.known {
+		r, kerr := recordFromKey(k)
+		if kerr != nil {
+			continue
+		}
+		r.Verdict = v
+		live = append(live, r)
+	}
+	s.mu.Unlock()
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact open: %w", err)
+	}
+	for _, r := range live {
+		buf = encode(buf, r)
+		if len(buf) >= 1<<16 {
+			if _, err := tmp.Write(buf); err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return fmt.Errorf("store: compact write: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact write: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	// The rename is the commit point: either the old complete log or the new
+	// complete log exists, never a partial mixture.
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	// Durably record the rename itself.
+	if dir, derr := os.Open(filepath.Dir(s.path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	old := s.file
+	s.file = tmp
+	old.Close()
+	if _, err := tmp.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: compact seek: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.SkippedSchema = 0
+	s.stats.TruncatedBytes = 0
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close drains the queue, fsyncs, and closes the log. Safe to call more
+// than once.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		<-s.closed
+		s.wmu.Lock()
+		if s.file != nil {
+			s.closeErr = s.file.Close()
+			s.file = nil
+		}
+		s.wmu.Unlock()
+	})
+	return s.closeErr
+}

@@ -1,0 +1,46 @@
+// Package testutil holds shared test-only helpers: currently the
+// goroutine-leak assertion used by the engine's cancellation tests and the
+// decided server's shutdown tests. It is a dependency-free goleak-style
+// check — the repository deliberately vendors nothing.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakSlack is the number of extra goroutines tolerated at cleanup time:
+// the Go runtime starts and stops housekeeping goroutines (GC workers, timer
+// scavenger) asynchronously, so an exact count is flaky by construction.
+const leakSlack = 2
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup that
+// polls until the count settles back to the snapshot (plus a small runtime
+// slack) or fails with a full stack dump. Call it at the top of any test
+// that spawns workers through the engine or the decided server: a cancelled
+// deadline or a drained shutdown must not strand goroutines.
+//
+// Tests using it must not call t.Parallel(): concurrent tests spawn their
+// own goroutines and make the global count meaningless.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before+leakSlack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d before, %d after (slack %d)\n%s",
+			before, after, leakSlack, buf[:runtime.Stack(buf, true)])
+	})
+}

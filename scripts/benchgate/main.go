@@ -30,6 +30,18 @@
 // in-tree replica of the old code path on the same run and hardware — the
 // trial-engine gate demands engine ≤ 0.25× the sequential trial loop, i.e.
 // a retained ≥4× speedup — with no committed baseline needed.
+//
+// -metric NAME gates a custom b.ReportMetric unit (e.g. "hitrate") instead
+// of ns/op, and -min-ratio adds a lower bound on the computed ratio — the
+// shape a higher-is-better metric needs. The bounded-cache gate combines
+// them: the bounded arm's hitrate divided by the unbounded arm's (same
+// artifact) must stay at or above 0.95.
+//
+// -max-value and -min-value gate the metric's absolute value in -current,
+// with no baseline or reference — the shape a self-normalising benchmark
+// needs. The store steady-state gate uses it: the benchmark interleaves its
+// own two arms and reports their ratio as an "overhead" metric, which must
+// stay at or below 1.05.
 package main
 
 import (
@@ -49,15 +61,19 @@ var (
 )
 
 // artifact holds the per-benchmark minima parsed from one recorded run:
-// ns/op always, allocs/op when the run used -benchmem.
+// ns/op always, allocs/op when the run used -benchmem, plus one optional
+// custom metric (a b.ReportMetric unit named by -metric).
 type artifact struct {
 	ns     map[string]float64
 	allocs map[string]float64
+	custom map[string]float64
 }
 
 // parseArtifact extracts min ns/op (and min allocs/op, when present) per
-// benchmark name from a go test -json stream or plain benchmark text.
-func parseArtifact(path string) (artifact, error) {
+// benchmark name from a go test -json stream or plain benchmark text. When
+// metricName is non-empty the per-benchmark minima of that custom unit are
+// collected too.
+func parseArtifact(path, metricName string) (artifact, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return artifact{}, err
@@ -79,7 +95,7 @@ func parseArtifact(path string) (artifact, error) {
 	if err := sc.Err(); err != nil {
 		return artifact{}, err
 	}
-	a := artifact{ns: make(map[string]float64), allocs: make(map[string]float64)}
+	a := artifact{ns: make(map[string]float64), allocs: make(map[string]float64), custom: make(map[string]float64)}
 	collect := func(re *regexp.Regexp, into map[string]float64) {
 		for _, m := range re.FindAllStringSubmatch(text.String(), -1) {
 			name := strings.TrimSuffix(m[1], "-")
@@ -101,22 +117,39 @@ func parseArtifact(path string) (artifact, error) {
 	}
 	collect(benchLine, a.ns)
 	collect(allocLine, a.allocs)
+	if metricName != "" {
+		customLine := regexp.MustCompile(
+			`(Benchmark[^\s]+)(?:-\d+)?\s+\d+\s.*?([0-9.]+(?:[eE][+-]?[0-9]+)?) ` + regexp.QuoteMeta(metricName) + `\b`)
+		collect(customLine, a.custom)
+	}
 	return a, nil
 }
 
-func metric(results artifact, bench, reference, path string) (float64, error) {
-	ns, ok := results.ns[bench]
+// metric reads the gated value of one benchmark — ns/op or the -metric
+// custom unit — optionally normalised by the reference benchmark's value in
+// the same artifact.
+func metric(results artifact, bench, reference, metricName, path string) (float64, error) {
+	vals := results.ns
+	unit := "ns/op"
+	if metricName != "" {
+		vals = results.custom
+		unit = metricName
+	}
+	v, ok := vals[bench]
 	if !ok {
-		return 0, fmt.Errorf("benchmark %s not found in %s", bench, path)
+		return 0, fmt.Errorf("benchmark %s has no %s in %s", bench, unit, path)
 	}
 	if reference == "" {
-		return ns, nil
+		return v, nil
 	}
-	ref, ok := results.ns[reference]
+	ref, ok := vals[reference]
 	if !ok {
-		return 0, fmt.Errorf("reference %s not found in %s", reference, path)
+		return 0, fmt.Errorf("reference %s has no %s in %s", reference, unit, path)
 	}
-	return ns / ref, nil
+	if ref == 0 {
+		return 0, fmt.Errorf("reference %s reports 0 %s in %s", reference, unit, path)
+	}
+	return v / ref, nil
 }
 
 func main() {
@@ -125,17 +158,21 @@ func main() {
 	bench := flag.String("benchmark", "", "benchmark name to gate")
 	reference := flag.String("reference", "", "same-file reference benchmark for machine-independent normalisation")
 	maxRatio := flag.Float64("max-ratio", 1.2, "maximum allowed current/baseline metric ratio")
+	minRatio := flag.Float64("min-ratio", -1, "minimum required metric ratio (higher-is-better metrics; negative disables)")
+	metricName := flag.String("metric", "", "custom b.ReportMetric unit to gate instead of ns/op (e.g. hitrate)")
 	maxAllocs := flag.Float64("max-allocs", -1, "maximum allowed allocs/op in the current artifact (-benchmem runs; negative disables)")
+	maxValue := flag.Float64("max-value", -1, "maximum allowed absolute metric value in the current artifact (negative disables)")
+	minValue := flag.Float64("min-value", -1, "minimum required absolute metric value in the current artifact (negative disables)")
 	flag.Parse()
 	if *current == "" || *bench == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current and -benchmark are required")
 		os.Exit(2)
 	}
-	if *baseline == "" && *maxAllocs < 0 && *reference == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: nothing to gate — provide -baseline, -reference and/or -max-allocs")
+	if *baseline == "" && *maxAllocs < 0 && *reference == "" && *maxValue < 0 && *minValue < 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to gate — provide -baseline, -reference, -max-allocs and/or -max-value/-min-value")
 		os.Exit(2)
 	}
-	cur, err := parseArtifact(*current)
+	cur, err := parseArtifact(*current, *metricName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
@@ -153,48 +190,77 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *baseline == "" && *reference != "" {
-		ratio, err := metric(cur, *bench, *reference, *current)
+	if *maxValue >= 0 || *minValue >= 0 {
+		v, err := metric(cur, *bench, "", *metricName, *current)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("benchgate: %s at %.3fx of %s in %s (max %.2f)\n",
-			*bench, ratio, *reference, *current, *maxRatio)
-		if ratio > *maxRatio {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s runs at %.3fx of its reference, above the %.2f allowed\n",
-				*bench, ratio, *maxRatio)
+		unit := "ns/op"
+		if *metricName != "" {
+			unit = *metricName
+		}
+		fmt.Printf("benchgate: %s %s %.4g (max %.4g, min %.4g)\n", *bench, unit, v, *maxValue, *minValue)
+		if *maxValue >= 0 && v > *maxValue {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s %s at %.4g, above the %.4g allowed\n",
+				*bench, unit, v, *maxValue)
+			os.Exit(1)
+		}
+		if *minValue >= 0 && v < *minValue {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s %s at %.4g, below the %.4g required\n",
+				*bench, unit, v, *minValue)
 			os.Exit(1)
 		}
 	}
+	checkBounds := func(ratio float64) {
+		if ratio > *maxRatio {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s at ratio %.3f, above the %.2f allowed\n",
+				*bench, ratio, *maxRatio)
+			os.Exit(1)
+		}
+		if *minRatio >= 0 && ratio < *minRatio {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s at ratio %.3f, below the %.2f required\n",
+				*bench, ratio, *minRatio)
+			os.Exit(1)
+		}
+	}
+	if *baseline == "" && *reference != "" {
+		ratio, err := metric(cur, *bench, *reference, *metricName, *current)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: %s at %.3fx of %s in %s (max %.2f, min %.2f)\n",
+			*bench, ratio, *reference, *current, *maxRatio, *minRatio)
+		checkBounds(ratio)
+	}
 	if *baseline != "" {
-		base, err := parseArtifact(*baseline)
+		base, err := parseArtifact(*baseline, *metricName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
 		}
-		baseMetric, err := metric(base, *bench, *reference, *baseline)
+		baseMetric, err := metric(base, *bench, *reference, *metricName, *baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
 		}
-		curMetric, err := metric(cur, *bench, *reference, *current)
+		curMetric, err := metric(cur, *bench, *reference, *metricName, *current)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
 		}
 		ratio := curMetric / baseMetric
 		unit := "ns/op"
+		if *metricName != "" {
+			unit = *metricName
+		}
 		if *reference != "" {
 			unit = "x reference"
 		}
-		fmt.Printf("benchgate: %s baseline %.4g %s, current %.4g %s, ratio %.3f (max %.2f)\n",
-			*bench, baseMetric, unit, curMetric, unit, ratio, *maxRatio)
-		if ratio > *maxRatio {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s regressed %.1f%% beyond the %.0f%% tolerance\n",
-				*bench, (ratio-1)*100, (*maxRatio-1)*100)
-			os.Exit(1)
-		}
+		fmt.Printf("benchgate: %s baseline %.4g %s, current %.4g %s, ratio %.3f (max %.2f, min %.2f)\n",
+			*bench, baseMetric, unit, curMetric, unit, ratio, *maxRatio, *minRatio)
+		checkBounds(ratio)
 	}
 	fmt.Println("benchgate: OK")
 }
