@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 // chaosServeEnv guards the re-exec child body: when set to the store path,
@@ -141,6 +143,114 @@ func TestChaosKillRestartVerify(t *testing.T) {
 		if got.Accepted != want {
 			t.Fatalf("served verdict diverges from fresh engine evaluation for %s: served %v, fresh %v",
 				q, got.Accepted, want)
+		}
+	}
+}
+
+// TestChaosRestartReplayIncremental is the dynamic extension of the chaos
+// suite: verdicts persisted during a session that mutated its instance must
+// replay into a fresh engine.Incremental session after a crash-and-recover,
+// leaving the restarted session fully warm — zero fresh decisions for the
+// initial full state — and subsequent updates repairing only their dirty
+// balls, with verdicts matching a from-scratch ground-truth evaluation.
+func TestChaosRestartReplayIncremental(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "dynamic-verdicts.log")
+	srv := &server{cfg: testConfig()}
+	g, err := buildServedGraph("cycle", 256, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.buildResident(g, "degree2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Session one: decide with a persistent cache, stream edge updates so
+	// post-update view shapes reach the log too, then flush and tear the tail
+	// (the torn record a SIGKILL mid-append would leave).
+	st, err := store.Open(storePath, store.Options{SyncEvery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := engine.NewViewCache()
+	cache.SetPersist(func(decider string, horizon int, code []byte, verdict engine.Verdict) {
+		st.Put(store.Record{Decider: decider, Horizon: horizon, Code: code, Verdict: bool(verdict)})
+	})
+	inc := engine.MustNewIncremental(res.dec, res.l, engine.Options{Cache: cache})
+	ops := []engine.EdgeOp{
+		{U: 3, V: 100, Add: true},
+		{U: 50, V: 51, Add: false},
+		{U: 200, V: 10, Add: true},
+	}
+	for _, op := range ops {
+		inc.ApplyEdge(op.U, op.V, op.Add)
+	}
+	want := append([]engine.Verdict(nil), inc.Verdicts()...)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(storePath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn-mid-append")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart: recover the store (truncating the torn tail), warm a fresh
+	// cache from it, and replay the final mutated instance into a new
+	// incremental session.
+	st2, err := store.Open(storePath, store.Options{})
+	if err != nil {
+		t.Fatalf("restart after torn append: %v", err)
+	}
+	defer st2.Close()
+	if tr := st2.Stats().TruncatedBytes; tr == 0 {
+		t.Fatal("recovery did not truncate the torn tail")
+	}
+	cache2 := engine.NewViewCache()
+	st2.ForEach(func(r store.Record) {
+		cache2.Insert(r.Decider, r.Horizon, r.Code, engine.Verdict(r.Verdict))
+	})
+	l2 := graph.NewLabeled(res.l.G.Clone(), append([]graph.Label(nil), res.l.Labels...))
+	inc2 := engine.MustNewIncremental(res.dec, l2, engine.Options{Cache: cache2})
+	if s2 := inc2.Stats(); s2.Evaluated != 0 {
+		t.Fatalf("restarted session decided %d views fresh; recovered store should cover them all", s2.Evaluated)
+	}
+	got := inc2.Verdicts()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("node %d: replayed verdict %v != pre-crash verdict %v", v, got[v], want[v])
+		}
+	}
+
+	// The recovered session keeps absorbing dynamics: each update decides at
+	// most its dirty ball (cold views only), and stays bit-identical to a
+	// cache-free from-scratch evaluation.
+	for i, op := range []engine.EdgeOp{
+		{U: 3, V: 100, Add: false},
+		{U: 7, V: 77, Add: true},
+	} {
+		before := inc2.Stats().Evaluated
+		dirty := inc2.ApplyEdge(op.U, op.V, op.Add)
+		if delta := inc2.Stats().Evaluated - before; delta > dirty {
+			t.Fatalf("update %d decided %d views for a %d-node dirty set", i, delta, dirty)
+		}
+		fresh := engine.EvalOblivious(res.dec, l2, engine.Options{})
+		if fresh.Err != nil {
+			t.Fatal(fresh.Err)
+		}
+		if fresh.Accepted != inc2.Accepted() {
+			t.Fatalf("update %d: session accepted=%v, fresh engine %v", i, inc2.Accepted(), fresh.Accepted)
+		}
+		for v, vd := range fresh.Verdicts {
+			if inc2.Verdict(v) != vd {
+				t.Fatalf("update %d: node %d session verdict %v != fresh %v", i, v, inc2.Verdict(v), vd)
+			}
 		}
 	}
 }

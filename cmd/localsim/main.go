@@ -15,10 +15,14 @@
 // Graphs: cycle, path, star, grid (rows x cols ~ n x 4), tree (depth n),
 // pyramid (the Appendix-A layered quadtree of height n: n=10 is the
 // 1024x1024 base, ~1.4 million nodes — the engine-scale sweep workload the
-// arithmetic coordinate indexing unlocked).
+// arithmetic coordinate indexing unlocked), random (Erdős–Rényi on n nodes
+// at expected degree ~4, seeded by -seed).
 // Deciders: 3col (labels random colours), mis (labels random bits),
-// degree2, triangle-free, coin (randomized: each node accepts unless its
-// 1-in-64 coin draw comes up zero — use with -trials).
+// degree2, triangle-free, forest (labels are BFS-distance forest
+// certificates from props.CertifyForest; the horizon-1 certificate verifier
+// rejects exactly when an update created a cycle or detached a certified
+// parent — the natural dynamic language), coin (randomized: each node
+// accepts unless its 1-in-64 coin draw comes up zero — use with -trials).
 // Backends: sequential (default), sharded (worker pool), mp (goroutine
 // message passing). -dedup decides each distinct canonical view once.
 // -runs repeats the evaluation; with -cache the runs share one cross-run
@@ -53,6 +57,21 @@
 // backend and injects drop/duplicate/delay at the given rate, showing the
 // degraded-but-never-wrong fallback path.
 //
+// -dynamic N streams N seeded edge toggles through the decided instance and
+// reports sustained updates/sec. With -incremental the instance stays
+// resident in an engine.Incremental session and each update repairs only
+// the radius-t balls around the touched endpoints (O(dirty), not O(n));
+// without it every update triggers a from-scratch re-evaluation — run both
+// to see the gap:
+//
+//	localsim -graph cycle -n 100000 -decider degree2 -dynamic 1000 -incremental -summary
+//	localsim -graph random -n 1000 -decider forest -dynamic 200 -incremental -summary
+//	localsim -graph cycle -n 10000 -decider degree2 -dynamic 50 -summary
+//
+// -incremental also reroutes the E16 label models (-faults flip|swap|...)
+// through the resident-session episode path: identical tables, ball-sized
+// heal-round repairs.
+//
 // -cpuprofile FILE and -memprofile FILE record runtime/pprof profiles of the
 // whole invocation (graph construction included — build cost is part of a
 // real sweep). The memory profile is a heap snapshot after a final GC. View
@@ -71,6 +90,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -104,6 +124,8 @@ func run(args []string) error {
 	trials := fs.Int("trials", 0, "run a Monte Carlo sweep of this many trials (randomized deciders only)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for the trial sweep's Wilson interval")
 	threshold := fs.Float64("threshold", math.NaN(), "acceptance threshold enabling adaptive stopping of the trial sweep")
+	dynamic := fs.Int("dynamic", 0, "stream this many seeded edge toggles through the instance and report updates/sec")
+	incremental := fs.Bool("incremental", false, "keep the instance resident in an incremental session (ball-sized repairs) for -dynamic and the E16 label models")
 	faults := fs.String("faults", "", "inject faults: flip | swap | randomize | labels | crash | messages")
 	faultRate := fs.Float64("fault-rate", 0.05, "fault intensity: corrupted-label fraction, crash or message-fault probability")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the deterministic fault streams (same seed replays the same faults)")
@@ -119,7 +141,7 @@ func run(args []string) error {
 		*backend = "mp"
 	}
 	if err := validateFlags(fs.NArg(), *graphKind, *n, *deciderName, *backend, *runs,
-		*trials, *confidence, *threshold, *faults, *faultRate); err != nil {
+		*trials, *confidence, *threshold, *faults, *faultRate, *dynamic); err != nil {
 		return err
 	}
 	if *cpuprofile != "" {
@@ -156,12 +178,12 @@ func run(args []string) error {
 	case "", "crash", "messages":
 		// crash/messages need the instance built below.
 	case "flip", "swap", "randomize", "labels":
-		return runSelfStab(*faults, *faultRate, *faultSeed, *trials)
+		return runSelfStab(*faults, *faultRate, *faultSeed, *trials, *incremental)
 	default:
 		return fmt.Errorf("unknown -faults model %q (flip | swap | randomize | labels | crash | messages)", *faults)
 	}
 
-	g, err := buildGraph(*graphKind, *n)
+	g, err := buildGraph(*graphKind, *n, *seed)
 	if err != nil {
 		return err
 	}
@@ -174,6 +196,12 @@ func run(args []string) error {
 			return fmt.Errorf("-faults %s needs a deterministic decider, got %q", *faults, *deciderName)
 		}
 		return runFaulty(*faults, l, alg, *graphKind, *backend, *faultRate, *faultSeed, *summary)
+	}
+	if *dynamic > 0 {
+		if alg == nil {
+			return fmt.Errorf("-dynamic needs a deterministic decider, got %q", *deciderName)
+		}
+		return runDynamic(l, alg, *graphKind, *backend, *dynamic, *seed, *incremental, *dedup, *summary)
 	}
 	if *trials > 0 {
 		return runTrials(l, randAlg, *deciderName, *graphKind, *backend, *trials, *seed, *confidence, *threshold)
@@ -241,22 +269,36 @@ func run(args []string) error {
 // checks deeper in the pipeline stay as defense in depth; this is the front
 // door.
 func validateFlags(nArgs int, graphKind string, n int, decider, backend string,
-	runs, trials int, confidence, threshold float64, faults string, faultRate float64) error {
+	runs, trials int, confidence, threshold float64, faults string, faultRate float64, dynamic int) error {
 	if nArgs > 0 {
 		return fmt.Errorf("unexpected positional arguments (flags only)")
 	}
 	switch graphKind {
-	case "cycle", "path", "star", "grid", "tree", "pyramid":
+	case "cycle", "path", "star", "grid", "tree", "pyramid", "random":
 	default:
-		return fmt.Errorf("unknown graph kind %q (cycle | path | star | grid | tree | pyramid)", graphKind)
+		return fmt.Errorf("unknown graph kind %q (cycle | path | star | grid | tree | pyramid | random)", graphKind)
 	}
 	if n < 0 {
 		return fmt.Errorf("-n must be non-negative, got %d", n)
 	}
 	switch decider {
-	case "3col", "mis", "degree2", "triangle-free", "coin":
+	case "3col", "mis", "degree2", "triangle-free", "forest", "coin":
 	default:
-		return fmt.Errorf("unknown decider %q (3col | mis | degree2 | triangle-free | coin)", decider)
+		return fmt.Errorf("unknown decider %q (3col | mis | degree2 | triangle-free | forest | coin)", decider)
+	}
+	if dynamic < 0 {
+		return fmt.Errorf("-dynamic must be non-negative, got %d", dynamic)
+	}
+	if dynamic > 0 {
+		if trials > 0 {
+			return fmt.Errorf("-dynamic and -trials are mutually exclusive")
+		}
+		if faults != "" {
+			return fmt.Errorf("-dynamic and -faults are mutually exclusive")
+		}
+		if runs > 1 {
+			return fmt.Errorf("-dynamic runs one sustained stream; drop -runs")
+		}
 	}
 	switch backend {
 	case "sequential", "sharded", "mp", "message-passing":
@@ -372,7 +414,7 @@ func runRandomizedOnce(l *graph.Labeled, alg local.RandomizedAlgorithm, graphKin
 // pyramidal label verifier every round, and report rounds-to-recovery and
 // the exposure window. Everything derives from -fault-seed, so the table
 // replays exactly.
-func runSelfStab(model string, rate float64, seed int64, trials int) error {
+func runSelfStab(model string, rate float64, seed int64, trials int, incremental bool) error {
 	if rate <= 0 || rate > 1 {
 		return fmt.Errorf("-fault-rate must be in (0, 1], got %v", rate)
 	}
@@ -396,16 +438,21 @@ func runSelfStab(model string, rate float64, seed int64, trials int) error {
 	}
 	dec := local.EngineObliviousDecider(p.PyramidalLabelVerifier())
 	cache := engine.NewViewCache()
-	fmt.Printf("self-stabilization: pyramidal G(%s, r=%d) n=%d rate=%.2f fault-seed=%d episodes=%d\n",
-		p.Machine.Name, p.R, asm.Labeled.N(), rate, seed, trials)
+	mode := "from-scratch per round"
+	if incremental {
+		mode = "incremental (ball-sized heal repairs)"
+	}
+	fmt.Printf("self-stabilization: pyramidal G(%s, r=%d) n=%d rate=%.2f fault-seed=%d episodes=%d engine=%s\n",
+		p.Machine.Name, p.R, asm.Labeled.N(), rate, seed, trials, mode)
 	fmt.Printf("%-10s %9s %10s %12s %15s %17s\n",
 		"model", "episodes", "recovered", "mean rounds", "exposed rounds", "exposed episodes")
 	for i, m := range models {
 		sw, err := fault.RecoverySweep(asm.Labeled, fault.SelfStabConfig{
-			Model:   m,
-			Rate:    rate,
-			Decider: dec,
-			Options: engine.Options{EarlyExit: true, Cache: cache},
+			Model:       m,
+			Rate:        rate,
+			Decider:     dec,
+			Options:     engine.Options{EarlyExit: true, Cache: cache},
+			Incremental: incremental,
 		}, engine.TrialOptions{Trials: trials, Seed: seed + int64(i)})
 		if err != nil {
 			return err
@@ -474,6 +521,123 @@ func runFaulty(mode string, l *graph.Labeled, alg local.ObliviousAlgorithm, grap
 	return nil
 }
 
+// runDynamic streams seeded edge toggles through the decided instance and
+// reports sustained update throughput. With incremental=true the instance
+// stays resident in an engine.Incremental session, so each update's cost is
+// the dirty-ball repair around the touched endpoints; otherwise every update
+// triggers a from-scratch re-evaluation — identical verdicts (the session is
+// parity-tested against the full engine), different cost model.
+func runDynamic(l *graph.Labeled, alg local.ObliviousAlgorithm, graphKind, backend string, updates int, seed int64, incremental, dedup, summary bool) error {
+	sched, err := buildScheduler(backend)
+	if err != nil {
+		return err
+	}
+	n := l.N()
+	if n < 2 {
+		return fmt.Errorf("-dynamic needs at least 2 nodes, got %d", n)
+	}
+	dec := local.EngineObliviousDecider(alg)
+	opts := engine.Options{Scheduler: sched, Dedup: dedup}
+	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	mode := "from-scratch"
+	if incremental {
+		mode = "incremental"
+	}
+	fmt.Printf("graph=%s n=%d decider=%s backend=%s dynamic: updates=%d mode=%s\n",
+		graphKind, n, alg.Name(), backend, updates, mode)
+
+	var (
+		accepted   bool
+		rejects    int
+		stats      engine.Stats
+		verdict    func(v int) engine.Verdict
+		applied    int
+		dirtyTotal int
+		elapsed    time.Duration
+	)
+	start := time.Now()
+	if incremental {
+		inc, err := engine.NewIncremental(dec, l, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("initial decision: %v accepted=%v rejects=%d\n",
+			time.Since(start).Round(time.Microsecond), inc.Accepted(), inc.Rejects())
+		ustart := time.Now()
+		for i := 0; i < updates; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			dirtyTotal += inc.ApplyEdge(u, v, !l.G.HasEdge(u, v))
+			applied++
+		}
+		elapsed = time.Since(ustart)
+		accepted, rejects, stats, verdict = inc.Accepted(), inc.Rejects(), inc.Stats(), inc.Verdict
+		if out := inc.Outcome(); out.Err != nil {
+			return fmt.Errorf("dynamic stream: %w", out.Err)
+		}
+	} else {
+		out := engine.EvalOblivious(dec, l, opts)
+		if out.Err != nil {
+			return fmt.Errorf("initial decision: %w", out.Err)
+		}
+		fmt.Printf("initial decision: %v accepted=%v\n",
+			time.Since(start).Round(time.Microsecond), out.Accepted)
+		ustart := time.Now()
+		for i := 0; i < updates; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			l.G.ApplyUpdate(u, v, !l.G.HasEdge(u, v))
+			applied++
+			out = engine.EvalOblivious(dec, l, opts)
+			if out.Err != nil {
+				return fmt.Errorf("dynamic stream (update %d): %w", applied, out.Err)
+			}
+		}
+		elapsed = time.Since(ustart)
+		accepted, stats = out.Accepted, out.Stats
+		for _, vd := range out.Verdicts {
+			if vd == engine.No {
+				rejects++
+			}
+		}
+		verdict = func(v int) engine.Verdict { return out.Verdicts[v] }
+		dirtyTotal = applied * n
+	}
+
+	perSec := float64(applied) / elapsed.Seconds()
+	fmt.Printf("updates: applied=%d elapsed=%v throughput=%.0f updates/sec\n",
+		applied, elapsed.Round(time.Microsecond), perSec)
+	if applied > 0 {
+		if incremental {
+			fmt.Printf("repairs: %d node re-decisions (avg %.1f per update; full sweep is %d)\n",
+				dirtyTotal, float64(dirtyTotal)/float64(applied), n)
+		} else {
+			fmt.Printf("re-evaluations: %d full sweeps, %d node re-decisions (%d per update)\n",
+				applied, dirtyTotal, n)
+		}
+	}
+	if !summary {
+		for v := 0; v < n; v++ {
+			fmt.Printf("  node %3d  label=%-8q  verdict=%s\n", v, l.Labels[v], verdict(v))
+		}
+	}
+	if accepted {
+		fmt.Println("globally ACCEPTED (all nodes yes)")
+	} else {
+		fmt.Printf("globally REJECTED (%d nodes say no)\n", rejects)
+	}
+	fmt.Printf("engine: workers=%d evaluated=%d", stats.Workers, stats.Evaluated)
+	if dedup {
+		fmt.Printf(" dedupHits=%d distinctViews=%d", stats.DedupHits, stats.DistinctViews)
+	}
+	fmt.Println()
+	return nil
+}
+
 func buildScheduler(name string) (engine.Scheduler, error) {
 	switch name {
 	case "sequential":
@@ -487,7 +651,7 @@ func buildScheduler(name string) (engine.Scheduler, error) {
 	}
 }
 
-func buildGraph(kind string, n int) (*graph.Graph, error) {
+func buildGraph(kind string, n int, seed int64) (*graph.Graph, error) {
 	switch kind {
 	case "cycle":
 		return graph.Cycle(n), nil
@@ -504,6 +668,12 @@ func buildGraph(kind string, n int) (*graph.Graph, error) {
 			return nil, fmt.Errorf("pyramid height %d out of range [0,12]", n)
 		}
 		return tree.NewPyramid(n).G, nil
+	case "random":
+		// Erdős–Rényi at expected degree ~4. Note -dedup is a poor fit here:
+		// the near-star views of a sparse random graph are the canonical
+		// code's worst case.
+		p := 4.0 / float64(max(n-1, 1))
+		return graph.Random(n, p, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown graph kind %q", kind)
 	}
@@ -524,6 +694,9 @@ func buildDecider(name string, g *graph.Graph, seed int64) (*graph.Labeled, loca
 		return graph.UniformlyLabeled(g, ""), props.BoundedDegreeVerifier(2), nil, nil
 	case "triangle-free":
 		return graph.UniformlyLabeled(g, ""), props.TriangleFreeVerifier(), nil, nil
+	case "forest":
+		l := graph.NewLabeled(g, props.CertifyForest(g))
+		return l, props.ForestCertVerifier(), nil, nil
 	case "coin":
 		alg := local.RandomizedFunc("coin(1/64)", 0, func(_ *graph.View, rng *rand.Rand) local.Verdict {
 			return local.Verdict(rng.Intn(64) != 0)

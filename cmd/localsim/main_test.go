@@ -22,6 +22,12 @@ func TestLocalsimCombos(t *testing.T) {
 		{"-graph", "cycle", "-n", "16", "-decider", "coin", "-trials", "80"},
 		{"-graph", "cycle", "-n", "16", "-decider", "coin", "-trials", "200", "-confidence", "0.99", "-backend", "sharded"},
 		{"-graph", "cycle", "-n", "16", "-decider", "coin", "-trials", "2000", "-threshold", "0.5"},
+		{"-graph", "random", "-n", "40", "-decider", "degree2", "-seed", "3"},
+		{"-graph", "path", "-n", "20", "-decider", "forest"},
+		{"-graph", "cycle", "-n", "200", "-decider", "degree2", "-dynamic", "30", "-incremental", "-summary"},
+		{"-graph", "cycle", "-n", "60", "-decider", "degree2", "-dynamic", "10", "-summary"},
+		{"-graph", "random", "-n", "60", "-decider", "forest", "-dynamic", "20", "-incremental", "-seed", "5", "-summary"},
+		{"-graph", "grid", "-n", "6", "-decider", "3col", "-dynamic", "12", "-incremental", "-backend", "sharded", "-summary"},
 	}
 	for _, args := range combos {
 		if err := run(args); err != nil {
@@ -73,6 +79,11 @@ func TestLocalsimUpFrontValidation(t *testing.T) {
 		{"-faults", "crash", "-fault-rate", "-0.1"},
 		{"-mp", "-backend", "sharded"},
 		{"-graph", "mystery", "-cpuprofile", "/nonexistent-dir/should-not-be-created"},
+		{"-dynamic", "-3"},
+		{"-dynamic", "5", "-decider", "coin", "-trials", "10"},
+		{"-dynamic", "5", "-faults", "crash"},
+		{"-dynamic", "5", "-runs", "2"},
+		{"-dynamic", "5", "-decider", "coin"},
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {

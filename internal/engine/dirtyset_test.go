@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file is the property-based check on the dirty-ball invariant itself:
+// for random graphs and radii, the set the session re-decides must equal the
+// brute-force union of the endpoint balls (taken after an insertion, before
+// a removal — computed here with an independent map-based BFS, not the
+// Traversal scratch the engine uses), and must cover every node whose
+// extracted view bytes (RawCode) actually changed. The first containment
+// catches under-invalidation (stale verdicts); the equality catches gross
+// over-invalidation. Note the dirty set is deliberately a superset of the
+// changed-RawCode set: a node at distance exactly t from one endpoint has
+// both endpoints on its view's boundary but not the edge between them, so
+// its bytes can come out unchanged.
+
+// bruteBall is an independent BFS ball: plain maps, no shared scratch.
+func bruteBall(g *graph.Graph, v, radius int) map[int]bool {
+	dist := map[int]int{v: 0}
+	queue := []int{v}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if dist[w] == radius {
+			continue
+		}
+		for _, u := range g.Neighbors(w) {
+			if _, seen := dist[int(u)]; !seen {
+				dist[int(u)] = dist[w] + 1
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	ball := make(map[int]bool, len(dist))
+	for w := range dist {
+		ball[w] = true
+	}
+	return ball
+}
+
+// rawSnapshot captures every node's RawCode bytes through a fresh extractor.
+func rawSnapshot(l *graph.Labeled, horizon int) []string {
+	x := graph.NewViewExtractor(l)
+	codes := make([]string, l.N())
+	for v := 0; v < l.N(); v++ {
+		codes[v] = string(x.At(v, horizon).RawCode().Bytes)
+	}
+	return codes
+}
+
+func TestDirtySetProperty(t *testing.T) {
+	dec := func(horizon int) Decider {
+		return Decider{Name: "any", Horizon: horizon, Decide: func(view *graph.View) Verdict {
+			return Verdict(view.N()%2 == 0)
+		}}
+	}
+	for _, horizon := range []int{0, 1, 2, 3} {
+		for _, seed := range []int64{1, 2, 3} {
+			rng := rand.New(rand.NewSource(seed*100 + int64(horizon)))
+			n := 24 + rng.Intn(40)
+			host := graph.Random(n, 0.06, seed)
+			l := graph.NewLabeled(host, graph.RandomLabels(host, []graph.Label{"a", "b"}, seed).Labels)
+			inc := MustNewIncremental(dec(horizon), l, Options{})
+
+			for step := 0; step < 40; step++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				add := rng.Intn(2) == 0
+				g := l.G
+
+				before := rawSnapshot(l, horizon)
+				structural := add != g.HasEdge(u, v)
+				want := map[int]bool{}
+				if structural && !add {
+					// Removal: balls in the pre-update graph.
+					for w := range bruteBall(g, u, horizon) {
+						want[w] = true
+					}
+					for w := range bruteBall(g, v, horizon) {
+						want[w] = true
+					}
+				}
+				inc.ApplyEdge(u, v, add)
+				if structural && add {
+					// Insertion: balls in the post-update graph.
+					for w := range bruteBall(g, u, horizon) {
+						want[w] = true
+					}
+					for w := range bruteBall(g, v, horizon) {
+						want[w] = true
+					}
+				}
+				after := rawSnapshot(l, horizon)
+
+				dirty := map[int]bool{}
+				for _, w := range inc.LastDirty() {
+					if dirty[w] {
+						t.Fatalf("h=%d seed=%d step %d: node %d repeated in dirty set", horizon, seed, step, w)
+					}
+					dirty[w] = true
+				}
+
+				if len(dirty) != len(want) {
+					t.Fatalf("h=%d seed=%d step %d (%d,%d,add=%v): dirty size %d != brute ball union %d",
+						horizon, seed, step, u, v, add, len(dirty), len(want))
+				}
+				for w := range want {
+					if !dirty[w] {
+						t.Fatalf("h=%d seed=%d step %d: brute ball node %d missing from dirty set", horizon, seed, step, w)
+					}
+				}
+				for w := range before {
+					if before[w] != after[w] && !dirty[w] {
+						t.Fatalf("h=%d seed=%d step %d (%d,%d,add=%v): node %d's view changed but was not repaired (under-invalidation)",
+							horizon, seed, step, u, v, add, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDirtySetLabelProperty is the same check for label rewrites: the dirty
+// set must equal the ball around the rewritten node and cover every changed
+// view.
+func TestDirtySetLabelProperty(t *testing.T) {
+	const horizon = 2
+	host := graph.Random(48, 0.06, 9)
+	l := graph.NewLabeled(host, graph.RandomLabels(host, []graph.Label{"a", "b"}, 9).Labels)
+	dec := Decider{Name: "any", Horizon: horizon, Decide: func(view *graph.View) Verdict {
+		return Verdict(len(view.Labels) > 1)
+	}}
+	inc := MustNewIncremental(dec, l, Options{})
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 30; step++ {
+		v := rng.Intn(48)
+		before := rawSnapshot(l, horizon)
+		want := bruteBall(l.G, v, horizon)
+		inc.ApplyLabel(v, graph.Label([]string{"a", "b", "c"}[rng.Intn(3)]))
+		after := rawSnapshot(l, horizon)
+
+		dirty := map[int]bool{}
+		for _, w := range inc.LastDirty() {
+			dirty[w] = true
+		}
+		if len(dirty) != len(want) {
+			t.Fatalf("step %d: dirty size %d != ball size %d", step, len(dirty), len(want))
+		}
+		for w := range want {
+			if !dirty[w] {
+				t.Fatalf("step %d: ball node %d missing from dirty set", step, w)
+			}
+		}
+		for w := range before {
+			if before[w] != after[w] && !dirty[w] {
+				t.Fatalf("step %d: node %d's view changed but was not repaired", step, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file is the incremental engine's differential oracle: randomized
+// update streams (edge add/remove with duplicates and no-ops, label
+// rewrites, updates inside and outside existing balls) run through an
+// Incremental session while a mirror instance is re-evaluated from scratch
+// after every step. Per-node verdicts and the aggregate outcome must be
+// bit-identical at each step, for every scheduler on the from-scratch side
+// and both repair widths on the incremental side. FuzzIncrementalParity
+// extends the pinned streams with coverage-guided ones (CI runs it with
+// -fuzztime on top of the seed corpus).
+
+// streamOp is one update of a generated stream: an edge toggle or, when
+// Label is non-empty, a label rewrite at node U.
+type streamOp struct {
+	U, V  int
+	Add   bool
+	Label graph.Label
+}
+
+// genStream derives a deterministic op stream: mostly edge toggles biased
+// towards repeat endpoints (duplicates and no-ops included by construction),
+// with a sprinkle of label rewrites.
+func genStream(rng *rand.Rand, n, steps int) []streamOp {
+	ops := make([]streamOp, 0, steps)
+	for len(ops) < steps {
+		switch rng.Intn(10) {
+		case 0: // label rewrite
+			ops = append(ops, streamOp{U: rng.Intn(n), Label: graph.Label(fmt.Sprintf("L%d", rng.Intn(3)))})
+		case 1, 2: // toggle around a previous endpoint: inside existing balls
+			if len(ops) == 0 {
+				continue
+			}
+			u := ops[rng.Intn(len(ops))].U
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			ops = append(ops, streamOp{U: u, V: v, Add: rng.Intn(2) == 0})
+		default:
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			ops = append(ops, streamOp{U: u, V: v, Add: rng.Intn(2) == 0})
+		}
+	}
+	return ops
+}
+
+// parityDeciders are structure- and label-sensitive deterministic deciders
+// (arbitrary isomorphism-invariant view functions — ideal differential
+// subjects).
+func incParityDeciders() []Decider {
+	return []Decider{
+		degreeAtMost(2),
+		{Name: "ballsize-r2", Horizon: 2, Decide: func(view *graph.View) Verdict {
+			return Verdict(view.N()%3 != 0)
+		}},
+		{Name: "labelmix-r2", Horizon: 2, Decide: func(view *graph.View) Verdict {
+			l0 := 0
+			for _, lab := range view.Labels {
+				if lab == "L0" {
+					l0++
+				}
+			}
+			return Verdict(2*l0 <= len(view.Labels))
+		}},
+	}
+}
+
+// runParityStream drives one op stream through an Incremental session and
+// asserts bit-identical verdicts and outcome against from-scratch
+// re-evaluation of a mirror instance after every step.
+func runParityStream(t *testing.T, host *graph.Graph, labels []graph.Label, dec Decider, ops []streamOp, incOpts, refOpts Options) {
+	t.Helper()
+	incL := graph.NewLabeled(host.Clone(), append([]graph.Label(nil), labels...))
+	refL := graph.NewLabeled(host.Clone(), append([]graph.Label(nil), labels...))
+
+	inc, err := NewIncremental(dec, incL, incOpts)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	compareStep(t, -1, inc, dec, refL, refOpts)
+	for i, op := range ops {
+		if op.Label != "" {
+			inc.ApplyLabel(op.U, op.Label)
+			refL.Labels[op.U] = op.Label
+		} else {
+			inc.ApplyEdge(op.U, op.V, op.Add)
+			refL.G.ApplyUpdate(op.U, op.V, op.Add)
+		}
+		compareStep(t, i, inc, dec, refL, refOpts)
+	}
+}
+
+// compareStep is one from-scratch evaluation plus the bit-identity check.
+func compareStep(t *testing.T, step int, inc *Incremental, dec Decider, refL *graph.Labeled, refOpts Options) {
+	t.Helper()
+	ref := EvalOblivious(dec, refL, refOpts)
+	if ref.Err != nil {
+		t.Fatalf("step %d: from-scratch eval failed: %v", step, ref.Err)
+	}
+	got := inc.Outcome()
+	if got.Accepted != ref.Accepted {
+		t.Fatalf("step %d: accepted %v != from-scratch %v", step, got.Accepted, ref.Accepted)
+	}
+	if len(got.Verdicts) != len(ref.Verdicts) {
+		t.Fatalf("step %d: verdict lengths %d != %d", step, len(got.Verdicts), len(ref.Verdicts))
+	}
+	for v := range ref.Verdicts {
+		if got.Verdicts[v] != ref.Verdicts[v] {
+			t.Fatalf("step %d: node %d verdict %v != from-scratch %v (dirty=%v)",
+				step, v, got.Verdicts[v], ref.Verdicts[v], inc.LastDirty())
+		}
+	}
+	if got.Err != nil || len(got.Errs) != 0 {
+		t.Fatalf("step %d: fault-free session reported errors: %v", step, got.Err)
+	}
+}
+
+// parityHosts are the graph families the pinned streams cover. Labels come
+// from a 3-letter alphabet: label diversity both exercises label-sensitive
+// deciders and keeps the canonical code's refinement search polynomial.
+func parityHosts() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"cycle48":  graph.Cycle(48),
+		"grid6x8":  graph.Grid(6, 8),
+		"random64": graph.Random(64, 0.05, 3),
+	}
+}
+
+// TestIncrementalParityStreams is the pinned-seed differential suite: every
+// host family and decider, from-scratch arms on all three schedulers plus an
+// explicit worker count, incremental repairs both sequential and sharded.
+func TestIncrementalParityStreams(t *testing.T) {
+	refScheds := map[string]Scheduler{
+		"sequential": Sequential,
+		"sharded":    Sharded,
+		"sharded3":   ShardedWith(3),
+		"mp":         MessagePassing,
+	}
+	incScheds := map[string]Scheduler{
+		"seq": Sequential,
+		"shd": ShardedWith(4),
+	}
+	for hostName, host := range parityHosts() {
+		for _, dec := range incParityDeciders() {
+			rng := rand.New(rand.NewSource(int64(len(hostName)) * int64(dec.Horizon+7)))
+			labels := graph.RandomLabels(host, []graph.Label{"L0", "L1", "L2"}, rng.Int63()).Labels
+			ops := genStream(rng, host.N(), 24)
+			for refName, refSched := range refScheds {
+				for incName, incSched := range incScheds {
+					name := fmt.Sprintf("%s/%s/%s/%s", hostName, dec.Name, refName, incName)
+					t.Run(name, func(t *testing.T) {
+						runParityStream(t, host, labels, dec, ops,
+							Options{Scheduler: incSched}, Options{Scheduler: refSched})
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalParityWithDedup re-runs one stream per host with the shared
+// dedup cache on both arms: the cache layer must not change any verdict.
+func TestIncrementalParityWithDedup(t *testing.T) {
+	for hostName, host := range parityHosts() {
+		t.Run(hostName, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(41))
+			labels := graph.RandomLabels(host, []graph.Label{"L0", "L1", "L2"}, 5).Labels
+			ops := genStream(rng, host.N(), 24)
+			runParityStream(t, host, labels, degreeAtMost(3), ops,
+				Options{Dedup: true}, Options{Dedup: true})
+		})
+	}
+}
+
+// FuzzIncrementalParity is the coverage-guided variant: the fuzzer picks the
+// stream seed and the shape, the harness asserts step-wise bit-identity on
+// both repair widths.
+func FuzzIncrementalParity(f *testing.F) {
+	f.Add(int64(1), uint8(32), uint8(16), uint8(0))
+	f.Add(int64(2), uint8(48), uint8(24), uint8(1))
+	f.Add(int64(3), uint8(64), uint8(24), uint8(2))
+	f.Add(int64(99), uint8(8), uint8(32), uint8(0))
+	f.Add(int64(1234567), uint8(80), uint8(12), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, stepsRaw, family uint8) {
+		n := 8 + int(nRaw)%89         // 8..96
+		steps := 1 + int(stepsRaw)%32 // 1..32
+		var host *graph.Graph
+		switch family % 3 {
+		case 0:
+			host = graph.Cycle(n)
+		case 1:
+			host = graph.Path(n)
+		default:
+			host = graph.Random(n, 0.05, seed)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		labels := graph.RandomLabels(host, []graph.Label{"L0", "L1", "L2"}, rng.Int63()).Labels
+		ops := genStream(rng, n, steps)
+		dec := incParityDeciders()[int(family/3)%3]
+		runParityStream(t, host, labels, dec, ops,
+			Options{Scheduler: ShardedWith(4)}, Options{Scheduler: Sequential})
+	})
+}

@@ -330,6 +330,64 @@ func TestRunEpisodeDeterminismAndRecovery(t *testing.T) {
 	}
 }
 
+// The incremental episode path must reproduce the from-scratch episodes
+// exactly: heal times derive from the seed's SiteHeal streams independently
+// of evaluation, and the resident session's verdicts are parity-locked to
+// EvalOblivious, so every field except the repair tally coincides.
+func TestRunEpisodeIncrementalParity(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.Cycle(48), "ok")
+	for _, model := range []LabelModel{Flip, Swap, Randomize} {
+		for seed := int64(1); seed <= 8; seed++ {
+			full, err := RunEpisode(l, SelfStabConfig{Model: model, Rate: 0.15, Decider: okDecider()}, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := RunEpisode(l, SelfStabConfig{Model: model, Rate: 0.15, Decider: okDecider(), Incremental: true}, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.DirtyNodes != 0 {
+				t.Fatalf("%v seed %d: from-scratch episode reported dirty nodes: %d", model, seed, full.DirtyNodes)
+			}
+			if inc.DirtyNodes == 0 {
+				t.Fatalf("%v seed %d: incremental episode repaired nothing", model, seed)
+			}
+			// Heal-round repairs stay ball-sized: strictly less work than
+			// re-deciding all n nodes every one of the budgeted rounds.
+			if inc.DirtyNodes >= l.N()*(inc.Evaluations-1) {
+				t.Fatalf("%v seed %d: repairs (%d nodes over %d rounds) not sublinear",
+					model, seed, inc.DirtyNodes, inc.Evaluations-1)
+			}
+			inc.DirtyNodes = 0
+			if !reflect.DeepEqual(full, inc) {
+				t.Fatalf("%v seed %d: incremental episode diverged:\nfull: %+v\ninc:  %+v", model, seed, full, inc)
+			}
+		}
+	}
+}
+
+// The sweep aggregates must also coincide: E16's rounds-to-recovery table is
+// identical whichever engine path computed it.
+func TestRecoverySweepIncrementalParity(t *testing.T) {
+	l := graph.UniformlyLabeled(graph.Cycle(32), "ok")
+	opts := engine.TrialOptions{Trials: 10, Seed: 7, Workers: 1}
+	full, err := RecoverySweep(l, SelfStabConfig{Model: Flip, Rate: 0.2, Decider: okDecider()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := RecoverySweep(l, SelfStabConfig{Model: Flip, Rate: 0.2, Decider: okDecider(), Incremental: true}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Episodes != full.Episodes ||
+		inc.ExposedRounds != full.ExposedRounds ||
+		inc.ExposedEpisodes != full.ExposedEpisodes ||
+		inc.MeanRecoveryRounds != full.MeanRecoveryRounds ||
+		inc.Trials.Accepted != full.Trials.Accepted {
+		t.Fatalf("incremental sweep diverged:\nfull: %+v\ninc:  %+v", full, inc)
+	}
+}
+
 // The sweep's aggregates must not depend on the worker count: trials commit
 // in order and tallies are commutative sums, so any pool size reports the
 // same table — the acceptance criterion behind the E16 replay guarantee.

@@ -37,6 +37,15 @@ type SelfStabConfig struct {
 	// cache, early exit). A shared Options.Cache amortises re-evaluation
 	// across rounds and episodes.
 	Options engine.Options
+	// Incremental, when set, runs each episode through a resident
+	// engine.Incremental session instead of a from-scratch evaluation per
+	// round: the corrupted instance is decided once, then every heal round
+	// repairs only the radius-t balls around the victims healed that round.
+	// Episode outcomes are identical either way — heal times derive from the
+	// seed's SiteHeal streams independently of evaluation, and the session's
+	// verdicts are parity-tested against from-scratch evaluation — but the
+	// per-round work drops from O(n) to O(dirty). DirtyNodes records it.
+	Incremental bool
 }
 
 func (cfg *SelfStabConfig) healProb() float64 {
@@ -68,6 +77,10 @@ type Episode struct {
 	Recovered bool
 	// Evaluations counts engine evaluations the episode ran.
 	Evaluations int
+	// DirtyNodes totals the nodes re-decided by heal-round repairs when the
+	// episode ran incrementally (the initial full decision is not counted;
+	// always 0 for from-scratch episodes).
+	DirtyNodes int
 }
 
 // RunEpisode corrupts l under cfg's model, then heals victims over rounds
@@ -104,8 +117,27 @@ func RunEpisode(l *graph.Labeled, cfg SelfStabConfig, seed int64) (Episode, erro
 
 	working := corrupted
 	remaining := len(victims)
-	evaluate := func() (bool, error) {
+	var inc *engine.Incremental
+	if cfg.Incremental {
+		session, err := engine.NewIncremental(cfg.Decider, working, cfg.Options)
+		if err != nil {
+			return ep, fmt.Errorf("fault: incremental episode session: %w", err)
+		}
+		inc = session
+	}
+	// evaluate re-decides the working instance after the given nodes' labels
+	// were healed in place: a ball-sized repair on the resident session, or a
+	// from-scratch sweep otherwise. The session's initial full decision stands
+	// in for the round-zero evaluation.
+	evaluate := func(healed []int) (bool, error) {
 		ep.Evaluations++
+		if inc != nil {
+			ep.DirtyNodes += inc.InvalidateLabels(healed)
+			if inc.Failed() > 0 {
+				return false, fmt.Errorf("fault: episode evaluation failed: %w", inc.Outcome().Err)
+			}
+			return inc.Accepted(), nil
+		}
 		out := engine.EvalOblivious(cfg.Decider, working, cfg.Options)
 		if out.Err != nil {
 			return false, fmt.Errorf("fault: episode evaluation failed: %w", out.Err)
@@ -114,21 +146,24 @@ func RunEpisode(l *graph.Labeled, cfg SelfStabConfig, seed int64) (Episode, erro
 	}
 
 	// Round zero: the corrupted instance as injected.
-	accepted, err := evaluate()
+	accepted, err := evaluate(nil)
 	if err != nil {
 		return ep, err
 	}
 	if accepted && remaining > 0 {
 		ep.ExposedRounds++
 	}
+	var healedNow []int
 	for round := 1; round <= maxRounds; round++ {
+		healedNow = healedNow[:0]
 		for _, v := range victims {
 			if healRound[v] == round {
 				working.Labels[v] = l.Labels[v]
 				remaining--
+				healedNow = append(healedNow, v)
 			}
 		}
-		accepted, err := evaluate()
+		accepted, err := evaluate(healedNow)
 		if err != nil {
 			return ep, err
 		}

@@ -200,6 +200,7 @@ func (w *CodeWorkspace) RootedCode(l *Labeled, root int) Code {
 }
 
 func (w *CodeWorkspace) code(l *Labeled, root int) Code {
+	l.G.ensureStatic()
 	if root >= 0 {
 		if out, ok := w.fastCode(l, root, w.buf[:0]); ok {
 			w.buf = out

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rebuildFromEdges freezes an edge set into a fresh static graph via Builder,
+// the independent oracle for the dynamic update path.
+func rebuildFromEdges(n int, edges map[[2]int]bool) *Graph {
+	b := NewBuilder(n)
+	for e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func normEdge(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// TestApplyUpdateDifferential drives a long random add/remove stream through
+// ApplyUpdate and checks after every step that the dynamic graph equals a
+// from-scratch Builder rebuild of the tracked edge set — in structure, edge
+// count, degrees, and flat arrays after Compact.
+func TestApplyUpdateDifferential(t *testing.T) {
+	const n = 24
+	const steps = 600
+	rng := rand.New(rand.NewSource(9))
+
+	g := New(n)
+	edges := map[[2]int]bool{}
+	for step := 0; step < steps; step++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		e := normEdge(u, v)
+		add := rng.Intn(2) == 0
+		changed := g.ApplyUpdate(u, v, add)
+		if add {
+			if changed == edges[e] {
+				t.Fatalf("step %d: add(%v) changed=%v but present=%v", step, e, changed, edges[e])
+			}
+			edges[e] = true
+		} else {
+			if changed != edges[e] {
+				t.Fatalf("step %d: remove(%v) changed=%v but present=%v", step, e, changed, edges[e])
+			}
+			delete(edges, e)
+		}
+		want := rebuildFromEdges(n, edges)
+		if g.M() != len(edges) {
+			t.Fatalf("step %d: M=%d want %d", step, g.M(), len(edges))
+		}
+		if !g.Equal(want) {
+			t.Fatalf("step %d: dynamic graph != rebuilt graph", step)
+		}
+		if !want.Equal(g) {
+			t.Fatalf("step %d: Equal not symmetric across representations", step)
+		}
+	}
+
+	// Clone of a dynamic graph is static and equal.
+	c := g.Clone()
+	if c.Dynamic() {
+		t.Fatal("Clone of dynamic graph should be static")
+	}
+	if !c.Equal(g) || !g.Equal(c) {
+		t.Fatal("Clone not equal to original")
+	}
+
+	// Compact returns to flat CSR with identical structure.
+	want := rebuildFromEdges(n, edges)
+	g.Compact()
+	if g.Dynamic() {
+		t.Fatal("Compact left graph dynamic")
+	}
+	if !g.Equal(want) {
+		t.Fatal("Compact changed structure")
+	}
+}
+
+// TestApplyUpdateNoop checks that duplicate adds and absent removes report
+// false and leave structure and generation untouched.
+func TestApplyUpdateNoop(t *testing.T) {
+	g := Cycle(8)
+	g.BeginUpdates()
+	gen := g.Generation()
+	if g.ApplyUpdate(0, 1, true) {
+		t.Fatal("adding existing edge reported changed")
+	}
+	if g.ApplyUpdate(2, 5, false) {
+		t.Fatal("removing absent edge reported changed")
+	}
+	if g.Generation() != gen {
+		t.Fatalf("no-op updates advanced generation %d -> %d", gen, g.Generation())
+	}
+	if g.M() != 8 {
+		t.Fatalf("M=%d want 8", g.M())
+	}
+}
+
+// TestBeginUpdatesPreservesStructure checks the O(n+m) conversion is
+// structure- and generation-neutral in both directions.
+func TestBeginUpdatesPreservesStructure(t *testing.T) {
+	g := Grid(5, 7)
+	want := g.Clone()
+	gen := g.Generation()
+	g.BeginUpdates()
+	if !g.Dynamic() {
+		t.Fatal("BeginUpdates did not enter dynamic mode")
+	}
+	if g.Generation() != gen {
+		t.Fatal("BeginUpdates advanced generation")
+	}
+	if !g.Equal(want) {
+		t.Fatal("BeginUpdates changed structure")
+	}
+	g.Compact()
+	if g.Generation() != gen {
+		t.Fatal("Compact advanced generation")
+	}
+	if !g.Equal(want) {
+		t.Fatal("Compact changed structure")
+	}
+}
+
+// TestDynamicRowIndependence exercises the three-index-slice footgun: growing
+// one row past its capacity in the shared buffer must not clobber the next
+// row.
+func TestDynamicRowIndependence(t *testing.T) {
+	// Path 0-1-2-3: node 1's row is [0,2] with capacity ending where node 2's
+	// row starts. Adding edge {1,3} grows row 1; row 2 must stay [1,3].
+	g := Path(4)
+	g.BeginUpdates()
+	g.ApplyUpdate(1, 3, true)
+	wantRows := [][]int32{{1}, {0, 2, 3}, {1, 3}, {1, 2}}
+	for v, want := range wantRows {
+		got := g.Neighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: neighbours %v want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: neighbours %v want %v", v, got, want)
+			}
+		}
+	}
+}
+
+// TestAddNodeDynamic checks AddNode works in dynamic mode and the new node
+// can immediately receive edges.
+func TestAddNodeDynamic(t *testing.T) {
+	g := Cycle(4)
+	g.BeginUpdates()
+	v := g.AddNode()
+	if v != 4 || g.N() != 5 {
+		t.Fatalf("AddNode=%d N=%d want 4,5", v, g.N())
+	}
+	g.ApplyUpdate(v, 0, true)
+	if !g.HasEdge(4, 0) || g.Degree(4) != 1 {
+		t.Fatal("edge to fresh dynamic node missing")
+	}
+	g.Compact()
+	if !g.HasEdge(4, 0) || g.M() != 5 {
+		t.Fatal("Compact lost edge to fresh node")
+	}
+}
+
+// TestGenerationCounter pins the generation semantics: structural changes
+// advance it, representation changes and no-ops do not.
+func TestGenerationCounter(t *testing.T) {
+	g := Cycle(6)
+	if g.Generation() != 0 {
+		t.Fatalf("fresh generator graph at generation %d", g.Generation())
+	}
+	g.AddEdge(0, 2)
+	if g.Generation() != 1 {
+		t.Fatalf("AddEdge: generation %d want 1", g.Generation())
+	}
+	g.AddEdge(0, 2) // idempotent no-op
+	if g.Generation() != 1 {
+		t.Fatalf("idempotent AddEdge advanced generation to %d", g.Generation())
+	}
+	g.AddNode()
+	if g.Generation() != 2 {
+		t.Fatalf("AddNode: generation %d want 2", g.Generation())
+	}
+	g.BeginUpdates()
+	g.Compact()
+	if g.Generation() != 2 {
+		t.Fatalf("BeginUpdates/Compact advanced generation to %d", g.Generation())
+	}
+	if !g.ApplyUpdate(1, 4, true) {
+		t.Fatal("ApplyUpdate add reported unchanged")
+	}
+	if g.Generation() != 3 {
+		t.Fatalf("ApplyUpdate: generation %d want 3", g.Generation())
+	}
+}
+
+// TestStaleExtractorDetected is the regression test for the compat-mutator
+// footgun: using a ViewExtractor after the host graph mutated must panic
+// instead of silently reading stale adjacency, and Reset must clear the
+// condition.
+func TestStaleExtractorDetected(t *testing.T) {
+	g := Cycle(8)
+	l := &Labeled{G: g, Labels: make([]Label, 8)}
+	x := NewViewExtractor(l)
+	x.At(0, 2) // fresh extractor works
+
+	g.AddEdge(0, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("At on stale extractor did not panic")
+			}
+		}()
+		x.At(0, 2)
+	}()
+
+	x.Reset(l)
+	v := x.At(0, 1)
+	if v.N() != 4 { // centre + neighbours 1, 7 and the new chord 4
+		t.Fatalf("post-Reset view has %d nodes, want 4", v.N())
+	}
+}
+
+// TestDynamicExtraction checks view extraction and codes work directly on a
+// dynamic-mode host (the incremental engine's steady state).
+func TestDynamicExtraction(t *testing.T) {
+	g := Cycle(10)
+	g.BeginUpdates()
+	g.ApplyUpdate(0, 5, true)
+	l := &Labeled{G: g, Labels: make([]Label, 10)}
+	x := NewViewExtractor(l)
+	view := x.At(0, 1)
+	if view.N() != 4 {
+		t.Fatalf("dynamic view has %d nodes, want 4", view.N())
+	}
+	if code := view.CanonCode(); len(code.Bytes) == 0 {
+		t.Fatal("empty canonical code from dynamic host view")
+	}
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "slices"
+import (
+	"fmt"
+	"slices"
+)
 
 // ViewExtractor extracts radius-t views in bulk while reusing all scratch
 // memory between calls: the BFS stamp array, the frontier queues, the view's
@@ -29,6 +32,12 @@ import "slices"
 type ViewExtractor struct {
 	l   *Labeled
 	ids []int // identifier per original node; nil for oblivious extraction
+
+	// gen is the host graph's structural generation captured at bind time
+	// (NewViewExtractor / Reset). At checks it so that extracting after the
+	// host mutated — which the compat mutators historically allowed to read
+	// torn adjacency silently — is a detected error instead.
+	gen uint64
 
 	// BFS scratch, sized to the host graph.
 	stamp     []int   // visit epoch per original node
@@ -63,6 +72,7 @@ func NewViewExtractor(l *Labeled) *ViewExtractor {
 	n := l.N()
 	return &ViewExtractor{
 		l:         l,
+		gen:       l.G.Generation(),
 		stamp:     make([]int, n),
 		viewIndex: make([]int32, n),
 		code:      NewCodeWorkspace(),
@@ -96,6 +106,7 @@ func (x *ViewExtractor) Reset(l *Labeled) {
 		x.viewIndex = x.viewIndex[:n]
 	}
 	x.l = l
+	x.gen = l.G.Generation()
 	x.ids = nil
 }
 
@@ -110,6 +121,9 @@ func (x *ViewExtractor) ResetInstance(in *Instance) {
 // call; see the type documentation for the full lifetime contract.
 func (x *ViewExtractor) At(v, t int) *View {
 	g := x.l.G
+	if g.gen != x.gen {
+		panic(fmt.Sprintf("graph: ViewExtractor used after host mutation (bound at generation %d, host now %d); call Reset/ResetInstance after mutating the graph", x.gen, g.gen))
+	}
 	g.check(v)
 	if t < 0 {
 		panic("graph: negative radius")

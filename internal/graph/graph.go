@@ -31,14 +31,34 @@ import (
 // above the 10^6-node production target, at half the memory of int on 64-bit.
 // Adjacency rows are kept sorted so that two structurally equal graphs
 // compare equal field-wise.
+//
+// A graph has two representations. The static (default) form is pure CSR:
+// two flat arrays, canonical and cache-linear. The dynamic form — entered by
+// BeginUpdates or the first ApplyUpdate — keeps one mutable sorted row per
+// node, so a sustained edge-update stream costs O(deg) per update instead of
+// the O(n+m) full-array shift the compatibility mutators pay. Every accessor
+// (Neighbors, Degree, HasEdge, Equal, traversals, view extraction) works on
+// both forms; Compact returns to flat CSR.
 type Graph struct {
 	// offsets has length n+1 (nil for the zero-value empty graph); node v's
 	// neighbours are neighbors[offsets[v]:offsets[v+1]], sorted ascending.
+	// In dynamic mode only the length of offsets is meaningful (it carries
+	// the node count); the adjacency lives in rows.
 	offsets   []int32
 	neighbors []int32
 	// m is the cached undirected edge count (= len(neighbors)/2), so M() is
 	// O(1) instead of the legacy sum over all adjacency lengths.
 	m int
+	// rows, when non-nil, is the dynamic-mode adjacency: one sorted slice
+	// per node. Initially every row aliases one shared copy of the flat
+	// neighbour array (three-index sliced so a growing row reallocates out
+	// instead of clobbering its successor); rows mutate independently.
+	rows [][]int32
+	// gen counts structural mutations (AddNode, AddEdge, ApplyUpdate). It
+	// backs Generation: scratch holders (ViewExtractor) capture it at bind
+	// time so stale use after a mutation is a detected error, not silent
+	// corruption.
+	gen uint64
 }
 
 // New returns an empty graph on n isolated nodes.
@@ -63,8 +83,22 @@ func (g *Graph) M() int { return g.m }
 
 // row returns node v's sorted neighbour range (unchecked).
 func (g *Graph) row(v int) []int32 {
+	if g.rows != nil {
+		return g.rows[v]
+	}
 	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
 }
+
+// Generation returns the graph's structural mutation counter: it increments
+// on every AddNode and on every AddEdge/ApplyUpdate that changes the edge
+// set. Slices returned by Neighbors and scratch bound to the graph (a
+// ViewExtractor's arenas) are only valid for the generation they were
+// obtained at; the extractor checks this and panics on stale use instead of
+// silently reading torn adjacency.
+func (g *Graph) Generation() uint64 { return g.gen }
+
+// Dynamic reports whether the graph is in dynamic (mutable-rows) mode.
+func (g *Graph) Dynamic() bool { return g.rows != nil }
 
 // AddNode appends a new isolated node and returns its index.
 //
@@ -74,8 +108,137 @@ func (g *Graph) AddNode() int {
 		g.offsets = []int32{0}
 	}
 	checkInt32Range(len(g.offsets))
+	g.gen++
+	if g.rows != nil {
+		g.offsets = append(g.offsets, 0) // dynamic mode: length-only
+		g.rows = append(g.rows, nil)
+		return len(g.offsets) - 2
+	}
 	g.offsets = append(g.offsets, g.offsets[len(g.offsets)-1])
 	return len(g.offsets) - 2
+}
+
+// BeginUpdates switches the graph to dynamic mode: the flat CSR adjacency is
+// copied once (O(n+m)) into one mutable sorted row per node, after which
+// ApplyUpdate inserts or deletes an edge in O(deg) instead of the O(n+m)
+// full-array shift AddEdge pays. Structure is unchanged, so outstanding
+// Neighbors slices stay valid and the generation does not advance. A no-op
+// when already dynamic.
+func (g *Graph) BeginUpdates() {
+	if g.rows != nil {
+		return
+	}
+	n := g.N()
+	rows := make([][]int32, n)
+	buf := append([]int32(nil), g.neighbors...)
+	for v := 0; v < n; v++ {
+		// Three-index slice: a row's capacity ends where the next row
+		// starts, so an insert into a full row reallocates that row out of
+		// the shared buffer instead of overwriting its successor.
+		rows[v] = buf[g.offsets[v]:g.offsets[v+1]:g.offsets[v+1]]
+	}
+	g.rows = rows
+	g.neighbors = nil
+}
+
+// ApplyUpdate applies one dynamic edge update: add inserts the undirected
+// edge {u, v}, !add removes it. It reports whether the edge set changed
+// (inserting a present edge and removing an absent one are no-ops). The
+// first call switches the graph to dynamic mode (one O(n+m) conversion);
+// every call after that costs O(deg(u) + deg(v)). Self-loops panic, matching
+// AddEdge. This is the delta path behind engine.Incremental's sustained
+// update streams.
+func (g *Graph) ApplyUpdate(u, v int, add bool) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if g.rows == nil {
+		g.BeginUpdates()
+	}
+	var changed bool
+	if add {
+		changed = g.insertHalf(u, v)
+		if changed {
+			g.insertHalf(v, u)
+			g.m++
+		}
+	} else {
+		changed = g.removeHalf(u, v)
+		if changed {
+			g.removeHalf(v, u)
+			g.m--
+		}
+	}
+	if changed {
+		g.gen++
+	}
+	return changed
+}
+
+// insertHalf inserts v into u's sorted row; reports false if already present.
+func (g *Graph) insertHalf(u, v int) bool {
+	row := g.rows[u]
+	i := searchInt32(row, int32(v))
+	if i < len(row) && row[i] == int32(v) {
+		return false
+	}
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = int32(v)
+	g.rows[u] = row
+	return true
+}
+
+// removeHalf removes v from u's sorted row; reports false if absent.
+func (g *Graph) removeHalf(u, v int) bool {
+	row := g.rows[u]
+	i := searchInt32(row, int32(v))
+	if i >= len(row) || row[i] != int32(v) {
+		return false
+	}
+	copy(row[i:], row[i+1:])
+	g.rows[u] = row[:len(row)-1]
+	return true
+}
+
+// Compact rebuilds the flat CSR arrays from the dynamic rows and leaves
+// dynamic mode. Structure is unchanged (generation does not advance); a
+// no-op on static graphs.
+func (g *Graph) Compact() {
+	if g.rows == nil {
+		return
+	}
+	offsets, neighbors := g.flatten()
+	g.offsets, g.neighbors, g.rows = offsets, neighbors, nil
+}
+
+// flatten materialises the dynamic rows as fresh flat CSR arrays.
+func (g *Graph) flatten() (offsets, neighbors []int32) {
+	n := g.N()
+	offsets = make([]int32, n+1)
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		offsets[v] = total
+		total += int32(len(g.rows[v]))
+	}
+	offsets[n] = total
+	neighbors = make([]int32, total)
+	for v := 0; v < n; v++ {
+		copy(neighbors[offsets[v]:offsets[v+1]], g.rows[v])
+	}
+	return offsets, neighbors
+}
+
+// ensureStatic compacts a dynamic-mode graph so callers that read the flat
+// CSR arrays directly (canonical-code pipeline, RawCode) see a consistent
+// view. Free (one nil check) on static graphs — which views, the only graphs
+// those paths ever receive on hot paths, always are.
+func (g *Graph) ensureStatic() {
+	if g.rows != nil {
+		g.Compact()
+	}
 }
 
 // AddEdge inserts the undirected edge {u, v}. It is idempotent: inserting an
@@ -87,6 +250,10 @@ func (g *Graph) AddNode() int {
 // returned by Neighbors. Bulk construction should use Builder, which freezes
 // an entire edge list in O(n+m) total.
 func (g *Graph) AddEdge(u, v int) {
+	if g.rows != nil {
+		g.ApplyUpdate(u, v, true)
+		return
+	}
 	g.check(u)
 	g.check(v)
 	if u == v {
@@ -95,6 +262,7 @@ func (g *Graph) AddEdge(u, v int) {
 	if g.HasEdge(u, v) {
 		return
 	}
+	g.gen++
 	lo, hi := u, v
 	if lo > hi {
 		lo, hi = hi, lo
@@ -143,6 +311,9 @@ func (g *Graph) Neighbors(v int) []int32 {
 // Degree returns the degree of v.
 func (g *Graph) Degree(v int) int {
 	g.check(v)
+	if g.rows != nil {
+		return len(g.rows[v])
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
@@ -150,7 +321,7 @@ func (g *Graph) Degree(v int) int {
 func (g *Graph) MaxDegree() int {
 	max := 0
 	for v, n := 0, g.N(); v < n; v++ {
-		if d := int(g.offsets[v+1] - g.offsets[v]); d > max {
+		if d := len(g.row(v)); d > max {
 			max = d
 		}
 	}
@@ -170,9 +341,15 @@ func (g *Graph) Edges() [][2]int {
 	return edges
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The clone is always in static (flat CSR) form,
+// even when g is dynamic, and starts at generation zero with no outstanding
+// scratch bound to it.
 func (g *Graph) Clone() *Graph {
 	h := &Graph{m: g.m}
+	if g.rows != nil {
+		h.offsets, h.neighbors = g.flatten()
+		return h
+	}
 	if g.offsets != nil {
 		h.offsets = append([]int32(nil), g.offsets...)
 	}
@@ -183,23 +360,38 @@ func (g *Graph) Clone() *Graph {
 }
 
 // Equal reports whether g and h are identical as indexed graphs (same node
-// count and same edge set; this is equality, not isomorphism). CSR with
-// sorted rows is canonical, so this is two flat array comparisons.
+// count and same edge set; this is equality, not isomorphism). Rows are kept
+// sorted in both representations, so this is a row-wise comparison — two flat
+// array comparisons when both graphs are static.
 func (g *Graph) Equal(h *Graph) bool {
 	n := g.N()
 	if n != h.N() || g.m != h.m {
 		return false
 	}
-	// offsets[0] is always 0, so starting at 1 also keeps a zero-value
-	// (nil-offsets) empty graph comparable against New(0).
-	for v := 1; v <= n; v++ {
-		if g.offsets[v] != h.offsets[v] {
+	if g.rows == nil && h.rows == nil {
+		// offsets[0] is always 0, so starting at 1 also keeps a zero-value
+		// (nil-offsets) empty graph comparable against New(0).
+		for v := 1; v <= n; v++ {
+			if g.offsets[v] != h.offsets[v] {
+				return false
+			}
+		}
+		for i, u := range g.neighbors {
+			if h.neighbors[i] != u {
+				return false
+			}
+		}
+		return true
+	}
+	for v := 0; v < n; v++ {
+		gr, hr := g.row(v), h.row(v)
+		if len(gr) != len(hr) {
 			return false
 		}
-	}
-	for i, u := range g.neighbors {
-		if h.neighbors[i] != u {
-			return false
+		for i, u := range gr {
+			if hr[i] != u {
+				return false
+			}
 		}
 	}
 	return true

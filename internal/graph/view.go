@@ -83,6 +83,7 @@ func (v *View) RawCode() Code {
 	b = binary.AppendUvarint(b, uint64(v.N()))
 	b = binary.AppendUvarint(b, uint64(v.Root))
 	g := v.G
+	g.ensureStatic()
 	for i := 0; i < g.N(); i++ {
 		b = binary.AppendUvarint(b, uint64(g.offsets[i+1]-g.offsets[i]))
 	}

@@ -196,6 +196,133 @@ func ForestSuite(sizes []int) *decide.Suite {
 	return s
 }
 
+// ForestCert is the certification companion to Forest: the property "x is a
+// valid distance certificate for a spanning forest of G". A label is a
+// non-negative integer; every edge must connect labels differing by exactly
+// one, and every node with a positive label must have exactly one neighbour
+// labelled one less (its parent). This is the classic NLD witness that moves
+// forests from "not locally decidable" (see Forest) to locally verifiable:
+// around any cycle the labels change by ±1 per step, so the cycle's maximum
+// either repeats on adjacent nodes (equal labels — rejected) or has two
+// parents (rejected). Hence the conjunction of the local checks holds iff G
+// is a forest and x is a per-component BFS distance labelling.
+func ForestCert() decide.Property {
+	return decide.PropertyFunc("forest-certificate", func(l *graph.Labeled) bool {
+		for v := 0; v < l.N(); v++ {
+			if !validCertStep(l.Labels, l.G.Neighbors(v), l.Labels[v]) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// ForestCertVerifier is the horizon-1 Id-oblivious verifier for ForestCert:
+// each node checks its own label parses, every neighbour differs by exactly
+// one, and (when positive) it has a unique parent.
+func ForestCertVerifier() local.ObliviousAlgorithm {
+	return local.ObliviousFunc("forest-cert-verifier", 1, func(view *graph.View) local.Verdict {
+		return local.Verdict(validCertStep(view.Labels, view.G.Neighbors(view.Root), view.Labels[view.Root]))
+	})
+}
+
+// validCertStep is the shared local check of ForestCert: lab parses as a
+// non-negative distance d, every neighbour label is d-1 or d+1, and d > 0
+// implies exactly one neighbour at d-1.
+func validCertStep(labels []graph.Label, nbrs []int32, lab graph.Label) bool {
+	d, err := strconv.Atoi(string(lab))
+	if err != nil || d < 0 {
+		return false
+	}
+	parents := 0
+	for _, u := range nbrs {
+		du, err := strconv.Atoi(string(labels[u]))
+		if err != nil {
+			return false
+		}
+		switch du {
+		case d - 1:
+			parents++
+		case d + 1:
+		default:
+			return false
+		}
+	}
+	return d == 0 || parents == 1
+}
+
+// CertifyForest produces a valid ForestCert labelling for any forest: each
+// component is BFS-labelled with the distance from its smallest-index node.
+// On a graph with a cycle the labels are still BFS distances but the
+// certificate is invalid by construction (ForestCert rejects it) — useful
+// for building no-instances.
+func CertifyForest(g *graph.Graph) []graph.Label {
+	labels := make([]graph.Label, g.N())
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, g.N())
+	for root := 0; root < g.N(); root++ {
+		if dist[root] >= 0 {
+			continue
+		}
+		dist[root] = 0
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			labels[v] = graph.Label(strconv.Itoa(dist[v]))
+			for _, u := range g.Neighbors(v) {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, int(u))
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// ForestCertSuite builds yes/no instances for ForestCert: certified paths,
+// stars and multi-component forests against BFS-labelled cycles and
+// corrupted certificates.
+func ForestCertSuite(sizes []int) *decide.Suite {
+	s := &decide.Suite{Name: "forest-certificate"}
+	for _, n := range sizes {
+		if n < 3 {
+			continue
+		}
+		path := graph.Path(n)
+		s.Yes = append(s.Yes,
+			graph.NewLabeled(path, CertifyForest(path)),
+			graph.NewLabeled(graph.Star(n), CertifyForest(graph.Star(n))))
+
+		// Two disjoint paths: each component gets its own root.
+		b := graph.NewBuilderHint(2*n, 2*n)
+		for v := 1; v < n; v++ {
+			b.AddEdge(v-1, v)
+			b.AddEdge(n+v-1, n+v)
+		}
+		forest := b.Build()
+		s.Yes = append(s.Yes, graph.NewLabeled(forest, CertifyForest(forest)))
+
+		// A cycle's BFS distances are never a valid certificate.
+		cycle := graph.Cycle(n)
+		s.No = append(s.No, graph.NewLabeled(cycle, CertifyForest(cycle)))
+
+		// Corrupted certificates on a genuine forest.
+		bumped := CertifyForest(path)
+		bumped[n/2] = graph.Label(strconv.Itoa(n + 7))
+		garbled := CertifyForest(path)
+		garbled[n-1] = "not-a-distance"
+		s.No = append(s.No,
+			graph.NewLabeled(path, bumped),
+			graph.NewLabeled(path, garbled))
+	}
+	return s
+}
+
 // ParentPointers is the property "every node's label names the index of one
 // of its neighbours (its parent) or is 'root', and exactly the structure of
 // a consistent in-tree within each ball"... locality caveat: global

@@ -144,6 +144,56 @@ func TestLeaderUniqueSuite(t *testing.T) {
 	}
 }
 
+func TestForestCertSuiteAgainstProperty(t *testing.T) {
+	if err := ForestCertSuite([]int{3, 6, 9}).Check(ForestCert()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestCertVerifierDecides(t *testing.T) {
+	rep := decide.VerifyLDStar(ForestCertVerifier(), ForestCertSuite([]int{3, 6, 9}))
+	if !rep.OK() {
+		t.Fatalf("forest-cert verifier failed: %s\n%v", rep, rep.Failures)
+	}
+}
+
+// TestCertifyForestOnForests pins that CertifyForest yields a certificate the
+// property and the verifier both accept exactly on forests — including the
+// global case the plain Forest property needs a full traversal for: a big
+// cycle is rejected from radius-1 views alone once certificates are present.
+func TestCertifyForestOnForests(t *testing.T) {
+	p, v := ForestCert(), ForestCertVerifier()
+	for _, g := range []*graph.Graph{
+		graph.Path(50), graph.Star(20), graph.CompleteBinaryTree(5),
+	} {
+		l := graph.NewLabeled(g, CertifyForest(g))
+		if !p.Contains(l) || !local.RunOblivious(v, l).Accepted {
+			t.Fatalf("certified forest (n=%d) rejected", g.N())
+		}
+	}
+	for _, n := range []int{3, 4, 999, 1000} {
+		cycle := graph.Cycle(n)
+		l := graph.NewLabeled(cycle, CertifyForest(cycle))
+		if p.Contains(l) || local.RunOblivious(v, l).Accepted {
+			t.Fatalf("C%d certificate accepted", n)
+		}
+	}
+}
+
+// Verifier-property agreement on random labelled instances: ForestCert is
+// genuinely locally checkable, so verifier and property must coincide on
+// arbitrary (mostly invalid) inputs too.
+func TestForestCertAgreementRandom(t *testing.T) {
+	p, v := ForestCert(), ForestCertVerifier()
+	for seed := int64(0); seed < 40; seed++ {
+		g := graph.Random(8, 0.3, seed)
+		l := graph.RandomLabels(g, []graph.Label{"0", "1", "2", "zz"}, seed+300)
+		if got, want := local.RunOblivious(v, l).Accepted, p.Contains(l); got != want {
+			t.Fatalf("seed %d: forest-cert verifier=%v property=%v", seed, got, want)
+		}
+	}
+}
+
 func TestForestSuite(t *testing.T) {
 	p := Forest()
 	if err := ForestSuite([]int{3, 6, 9}).Check(p); err != nil {
