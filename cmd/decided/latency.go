@@ -1,0 +1,83 @@
+package main
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a fixed-bucket log2 latency histogram: bucket i counts
+// requests whose latency in microseconds has bit-length i (i.e. lies in
+// [2^(i-1), 2^i)), so 32 buckets span sub-microsecond to over an hour.
+// Recording is two atomic adds on the hot path — no locks, no allocation,
+// no dependencies — and reading tolerates racing writers (a snapshot may be
+// off by the handful of requests in flight, which is what a monitoring
+// endpoint wants).
+type latencyHist struct {
+	buckets [32]atomic.Int64
+	count   atomic.Int64
+	sumUs   atomic.Int64
+}
+
+// observe records one request latency.
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(us)
+}
+
+// latencySummary is the JSON shape of one route's latency distribution:
+// request count, mean, and the p50/p95/p99 bucket upper bounds in
+// milliseconds. Quantiles are resolved to the upper edge of the log2 bucket
+// the quantile falls in, so they are exact to within a factor of two — the
+// precision a fixed-bucket histogram buys for two atomic adds per request.
+type latencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// summarize snapshots the histogram into its JSON shape.
+func (h *latencyHist) summarize() latencySummary {
+	var counts [32]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := latencySummary{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.MeanMs = float64(h.sumUs.Load()) / float64(total) / 1000
+	quantile := func(q float64) float64 {
+		// The smallest bucket upper edge covering fraction q of requests.
+		need := int64(q*float64(total)) + 1
+		if need > total {
+			need = total
+		}
+		var seen int64
+		for i, c := range counts {
+			seen += c
+			if seen >= need {
+				// Bucket i spans [2^(i-1), 2^i) µs; report the upper edge.
+				return float64(uint64(1)<<uint(i)-1) / 1000
+			}
+		}
+		return float64(uint64(1)<<uint(len(counts))-1) / 1000
+	}
+	s.P50Ms = quantile(0.50)
+	s.P95Ms = quantile(0.95)
+	s.P99Ms = quantile(0.99)
+	return s
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencyHistQuantiles pins the bucket arithmetic: quantiles resolve to
+// the upper edge of the log2 bucket they fall in.
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	// 90 fast requests in (512µs, 1024µs] bit-length 10, 10 slow ones in
+	// (32ms, 64ms] bit-length 16.
+	for i := 0; i < 90; i++ {
+		h.observe(600 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(40 * time.Millisecond)
+	}
+	s := h.summarize()
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	fastEdge := float64(uint64(1)<<10-1) / 1000 // 1.023 ms
+	slowEdge := float64(uint64(1)<<16-1) / 1000 // 65.535 ms
+	if s.P50Ms != fastEdge {
+		t.Errorf("p50 %v ms, want fast bucket edge %v", s.P50Ms, fastEdge)
+	}
+	if s.P95Ms != slowEdge {
+		t.Errorf("p95 %v ms, want slow bucket edge %v", s.P95Ms, slowEdge)
+	}
+	if s.P99Ms != slowEdge {
+		t.Errorf("p99 %v ms, want slow bucket edge %v", s.P99Ms, slowEdge)
+	}
+	wantMean := (90*0.6 + 10*40) / 100
+	if diff := s.MeanMs - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mean %v ms, want %v", s.MeanMs, wantMean)
+	}
+}
+
+// TestLatencyHistEdges: zero, negative, and absurdly large observations all
+// land in a bucket instead of panicking or skewing the count.
+func TestLatencyHistEdges(t *testing.T) {
+	var h latencyHist
+	h.observe(0)
+	h.observe(-5 * time.Millisecond)
+	h.observe(200 * time.Hour)
+	if s := h.summarize(); s.Count != 3 {
+		t.Fatalf("count %d, want 3", s.Count)
+	}
+	var empty latencyHist
+	if s := empty.summarize(); s.Count != 0 || s.P50Ms != 0 || s.MeanMs != 0 {
+		t.Fatalf("empty histogram must summarize to zeros, got %+v", s)
+	}
+}
+
+// TestLatencyHistConcurrent: recording is safe under concurrent writers and
+// the total count is exact.
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h latencyHist
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.summarize(); s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+}
+
+// TestStatszLatency: the per-route histograms surface in /statsz — eval
+// requests populate the eval route and leave the trials route empty, and
+// the quantile fields come back ordered.
+func TestStatszLatency(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	for i := 0; i < 3; i++ {
+		get(t, ts.URL+"/v1/eval?graph=cycle&n=64&decider=degree2")
+	}
+	get(t, ts.URL+"/v1/trials?graph=cycle&n=16&decider=coin&trials=20")
+	_, body := get(t, ts.URL+"/statsz")
+	var st statszResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statsz not JSON: %v\n%s", err, body)
+	}
+	if st.Latency.Eval.Count != 3 {
+		t.Errorf("eval latency count %d, want 3", st.Latency.Eval.Count)
+	}
+	if st.Latency.Trials.Count != 1 {
+		t.Errorf("trials latency count %d, want 1", st.Latency.Trials.Count)
+	}
+	e := st.Latency.Eval
+	if e.P50Ms <= 0 || e.P50Ms > e.P95Ms || e.P95Ms > e.P99Ms {
+		t.Errorf("eval quantiles out of order: %+v", e)
+	}
+}

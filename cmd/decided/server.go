@@ -77,6 +77,9 @@ type server struct {
 	deadlines atomic.Int64 // evaluations cut by their deadline
 	evalErrs  atomic.Int64 // evaluations that failed outright
 
+	evalLat   latencyHist // /v1/eval evaluation latency (all outcomes)
+	trialsLat latencyHist // /v1/trials sweep latency (all outcomes)
+
 	start time.Time
 	mux   *http.ServeMux
 }
@@ -357,6 +360,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
 	out := engine.EvalOblivious(dec, res.l, opts)
 	elapsed := time.Since(begin)
+	s.evalLat.observe(elapsed)
 
 	switch {
 	case out.Err == nil:
@@ -443,6 +447,7 @@ func (s *server) handleTrials(w http.ResponseWriter, r *http.Request) {
 		Trials: trials, Seed: seed, Confidence: confidence, Ctx: ctx,
 	})
 	elapsed := time.Since(begin)
+	s.trialsLat.observe(elapsed)
 	if terr != nil && !errors.Is(terr, context.DeadlineExceeded) && !errors.Is(terr, context.Canceled) {
 		s.evalErrs.Add(1)
 		httpError(w, http.StatusInternalServerError, "trial sweep failed: %v", terr)
@@ -489,8 +494,15 @@ type statszResponse struct {
 	Rejected      int64             `json:"rejected"`
 	Deadlines     int64             `json:"deadlineExceeded"`
 	EvalErrors    int64             `json:"evalErrors"`
+	Latency       latencyByRoute    `json:"latency"`
 	Cache         engine.CacheStats `json:"cache"`
 	Store         *store.Stats      `json:"store,omitempty"`
+}
+
+// latencyByRoute carries the per-route latency distributions of /statsz.
+type latencyByRoute struct {
+	Eval   latencySummary `json:"eval"`
+	Trials latencySummary `json:"trials"`
 }
 
 // handleStatsz exposes the server's counters, the cache's accounting and the
@@ -505,7 +517,11 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Rejected:      s.rejected.Load(),
 		Deadlines:     s.deadlines.Load(),
 		EvalErrors:    s.evalErrs.Load(),
-		Cache:         s.cache.Stats(),
+		Latency: latencyByRoute{
+			Eval:   s.evalLat.summarize(),
+			Trials: s.trialsLat.summarize(),
+		},
+		Cache: s.cache.Stats(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -116,6 +116,7 @@ func run(args []string) error {
 	deciderName := fs.String("decider", "3col", "3col | mis | degree2 | triangle-free | coin")
 	seed := fs.Int64("seed", 1, "label and coin seed")
 	backend := fs.String("backend", "sequential", "sequential | sharded | mp")
+	shards := fs.Int("shards", 0, "run the sharded halo-exchange runtime with this many shards (0 = off; level-contiguous partitioning for pyramid/tree, BFS-blocked otherwise)")
 	dedup := fs.Bool("dedup", false, "decide each distinct canonical view once")
 	useMP := fs.Bool("mp", false, "shorthand for -backend mp")
 	runs := fs.Int("runs", 1, "repeat the evaluation this many times")
@@ -140,7 +141,7 @@ func run(args []string) error {
 		}
 		*backend = "mp"
 	}
-	if err := validateFlags(fs.NArg(), *graphKind, *n, *deciderName, *backend, *runs,
+	if err := validateFlags(fs.NArg(), *graphKind, *n, *deciderName, *backend, *shards, *runs,
 		*trials, *confidence, *threshold, *faults, *faultRate, *dynamic); err != nil {
 		return err
 	}
@@ -178,7 +179,7 @@ func run(args []string) error {
 	case "", "crash", "messages":
 		// crash/messages need the instance built below.
 	case "flip", "swap", "randomize", "labels":
-		return runSelfStab(*faults, *faultRate, *faultSeed, *trials, *incremental)
+		return runSelfStab(*faults, *faultRate, *faultSeed, *trials, *incremental, *shards)
 	default:
 		return fmt.Errorf("unknown -faults model %q (flip | swap | randomize | labels | crash | messages)", *faults)
 	}
@@ -195,21 +196,21 @@ func run(args []string) error {
 		if alg == nil {
 			return fmt.Errorf("-faults %s needs a deterministic decider, got %q", *faults, *deciderName)
 		}
-		return runFaulty(*faults, l, alg, *graphKind, *backend, *faultRate, *faultSeed, *summary)
+		return runFaulty(*faults, l, alg, *graphKind, *backend, *shards, *faultRate, *faultSeed, *summary)
 	}
 	if *dynamic > 0 {
 		if alg == nil {
 			return fmt.Errorf("-dynamic needs a deterministic decider, got %q", *deciderName)
 		}
-		return runDynamic(l, alg, *graphKind, *backend, *dynamic, *seed, *incremental, *dedup, *summary)
+		return runDynamic(l, alg, *graphKind, *backend, *shards, *dynamic, *seed, *incremental, *dedup, *summary)
 	}
 	if *trials > 0 {
 		return runTrials(l, randAlg, *deciderName, *graphKind, *backend, *trials, *seed, *confidence, *threshold)
 	}
 	if randAlg != nil {
-		return runRandomizedOnce(l, randAlg, *graphKind, *backend, *seed, *summary)
+		return runRandomizedOnce(l, randAlg, *graphKind, *backend, *shards, *seed, *summary)
 	}
-	sched, err := buildScheduler(*backend)
+	sched, err := buildScheduler(*backend, *shards, *graphKind)
 	if err != nil {
 		return err
 	}
@@ -248,10 +249,11 @@ func run(args []string) error {
 	if (*dedup || *useCache) && !isMP {
 		fmt.Printf(" dedupHits=%d distinctViews=%d", s.DedupHits, s.DistinctViews)
 	}
-	if isMP {
+	if isMP || s.Shards > 0 {
 		fmt.Printf(" rounds=%d messages=%d knowledgeUnits=%d", s.Rounds, s.Messages, s.KnowledgeUnits)
 	}
 	fmt.Println()
+	printShardedStats(s)
 	if *useCache && !isMP {
 		cs := cache.Stats()
 		fmt.Printf("cache: shared across %d run(s), %d distinct views decided in total\n", *runs, cache.Len())
@@ -269,7 +271,7 @@ func run(args []string) error {
 // checks deeper in the pipeline stay as defense in depth; this is the front
 // door.
 func validateFlags(nArgs int, graphKind string, n int, decider, backend string,
-	runs, trials int, confidence, threshold float64, faults string, faultRate float64, dynamic int) error {
+	shards, runs, trials int, confidence, threshold float64, faults string, faultRate float64, dynamic int) error {
 	if nArgs > 0 {
 		return fmt.Errorf("unexpected positional arguments (flags only)")
 	}
@@ -305,6 +307,12 @@ func validateFlags(nArgs int, graphKind string, n int, decider, backend string,
 	default:
 		return fmt.Errorf("unknown backend %q (sequential | sharded | mp)", backend)
 	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", shards)
+	}
+	if shards > 0 && backend != "sequential" {
+		return fmt.Errorf("-shards selects the sharded message-passing runtime; drop -backend %q", backend)
+	}
 	if runs < 1 {
 		return fmt.Errorf("-runs must be positive, got %d", runs)
 	}
@@ -312,6 +320,9 @@ func validateFlags(nArgs int, graphKind string, n int, decider, backend string,
 		return fmt.Errorf("-trials must be non-negative, got %d", trials)
 	}
 	if trials > 0 {
+		if shards > 0 && faults == "" {
+			return fmt.Errorf("-trials parallelises at trial level; drop -shards")
+		}
 		if confidence <= 0 || confidence >= 1 || math.IsNaN(confidence) {
 			return fmt.Errorf("-confidence must be in (0, 1), got %v", confidence)
 		}
@@ -385,8 +396,8 @@ func runTrials(l *graph.Labeled, alg local.RandomizedAlgorithm, deciderName, gra
 
 // runRandomizedOnce evaluates a randomized decider for a single trial
 // through the ordinary engine path (per-node streams from -seed).
-func runRandomizedOnce(l *graph.Labeled, alg local.RandomizedAlgorithm, graphKind, backend string, seed int64, summary bool) error {
-	sched, err := buildScheduler(backend)
+func runRandomizedOnce(l *graph.Labeled, alg local.RandomizedAlgorithm, graphKind, backend string, shards int, seed int64, summary bool) error {
+	sched, err := buildScheduler(backend, shards, graphKind)
 	if err != nil {
 		return err
 	}
@@ -414,7 +425,10 @@ func runRandomizedOnce(l *graph.Labeled, alg local.RandomizedAlgorithm, graphKin
 // pyramidal label verifier every round, and report rounds-to-recovery and
 // the exposure window. Everything derives from -fault-seed, so the table
 // replays exactly.
-func runSelfStab(model string, rate float64, seed int64, trials int, incremental bool) error {
+func runSelfStab(model string, rate float64, seed int64, trials int, incremental bool, shards int) error {
+	if incremental && shards > 0 {
+		return fmt.Errorf("-incremental keeps the instance resident; drop -shards")
+	}
 	if rate <= 0 || rate > 1 {
 		return fmt.Errorf("-fault-rate must be in (0, 1], got %v", rate)
 	}
@@ -438,9 +452,16 @@ func runSelfStab(model string, rate float64, seed int64, trials int, incremental
 	}
 	dec := local.EngineObliviousDecider(p.PyramidalLabelVerifier())
 	cache := engine.NewViewCache()
+	evalOpts := engine.Options{EarlyExit: true, Cache: cache}
 	mode := "from-scratch per round"
 	if incremental {
 		mode = "incremental (ball-sized heal repairs)"
+	}
+	if shards > 0 {
+		// E16 through the sharded runtime: the pyramidal instance is
+		// level-ordered, so it shards level-contiguously.
+		evalOpts.Scheduler = engine.ShardedMPPartitioned(shards, graph.PartitionLevelContiguous)
+		mode = fmt.Sprintf("sharded-mp (%d shards, level-contiguous)", shards)
 	}
 	fmt.Printf("self-stabilization: pyramidal G(%s, r=%d) n=%d rate=%.2f fault-seed=%d episodes=%d engine=%s\n",
 		p.Machine.Name, p.R, asm.Labeled.N(), rate, seed, trials, mode)
@@ -451,7 +472,7 @@ func runSelfStab(model string, rate float64, seed int64, trials int, incremental
 			Model:       m,
 			Rate:        rate,
 			Decider:     dec,
-			Options:     engine.Options{EarlyExit: true, Cache: cache},
+			Options:     evalOpts,
 			Incremental: incremental,
 		}, engine.TrialOptions{Trials: trials, Seed: seed + int64(i)})
 		if err != nil {
@@ -470,7 +491,7 @@ func runSelfStab(model string, rate float64, seed int64, trials int, incremental
 // crashes or message faults, showing the engine's recovery machinery: retry
 // counters, VerdictErrors (never misreported as accept or reject), and the
 // MessagePassing incomplete-view fallback.
-func runFaulty(mode string, l *graph.Labeled, alg local.ObliviousAlgorithm, graphKind, backend string, rate float64, seed int64, summary bool) error {
+func runFaulty(mode string, l *graph.Labeled, alg local.ObliviousAlgorithm, graphKind, backend string, shards int, rate float64, seed int64, summary bool) error {
 	if rate < 0 || rate > 1 {
 		return fmt.Errorf("-fault-rate must be in [0, 1], got %v", rate)
 	}
@@ -478,18 +499,25 @@ func runFaulty(mode string, l *graph.Labeled, alg local.ObliviousAlgorithm, grap
 	var opts engine.Options
 	switch mode {
 	case "crash":
-		sched, err := buildScheduler(backend)
+		sched, err := buildScheduler(backend, shards, graphKind)
 		if err != nil {
 			return err
 		}
 		plan.Crash = &fault.CrashModel{Rate: rate}
 		opts = engine.Options{Scheduler: sched, Faults: plan}
 	case "messages":
-		if backend != "sequential" && backend != "mp" && backend != "message-passing" {
-			return fmt.Errorf("-faults messages runs on the message-passing backend, not %q", backend)
-		}
 		plan.Message = &fault.MessageModel{DropRate: rate, DuplicateRate: rate / 2, DelayRate: rate / 2}
-		opts = engine.Options{Scheduler: engine.MessagePassing, Faults: plan}
+		if shards > 0 {
+			// Message fates apply per shard-pair link: a lost halo ring
+			// degrades the receiving shard's rim nodes to exact fallback
+			// extraction.
+			opts = engine.Options{Scheduler: engine.ShardedMPPartitioned(shards, partitionStrategyFor(graphKind)), Faults: plan}
+		} else {
+			if backend != "sequential" && backend != "mp" && backend != "message-passing" {
+				return fmt.Errorf("-faults messages runs on the message-passing backend, not %q", backend)
+			}
+			opts = engine.Options{Scheduler: engine.MessagePassing, Faults: plan}
+		}
 	}
 	out := engine.EvalOblivious(local.EngineObliviousDecider(alg), l, opts)
 	fmt.Printf("graph=%s n=%d decider=%s backend=%s faults=%s rate=%.2f fault-seed=%d\n",
@@ -515,6 +543,7 @@ func runFaulty(mode string, l *graph.Labeled, alg local.ObliviousAlgorithm, grap
 			s.Rounds, s.Messages, s.Dropped, s.Duplicated, s.Delayed, s.Retransmits,
 			s.IncompleteViews, s.TimedOutRounds)
 	}
+	printShardedStats(s)
 	for _, ve := range out.Errs {
 		fmt.Printf("  error: %v\n", ve)
 	}
@@ -527,8 +556,8 @@ func runFaulty(mode string, l *graph.Labeled, alg local.ObliviousAlgorithm, grap
 // the dirty-ball repair around the touched endpoints; otherwise every update
 // triggers a from-scratch re-evaluation — identical verdicts (the session is
 // parity-tested against the full engine), different cost model.
-func runDynamic(l *graph.Labeled, alg local.ObliviousAlgorithm, graphKind, backend string, updates int, seed int64, incremental, dedup, summary bool) error {
-	sched, err := buildScheduler(backend)
+func runDynamic(l *graph.Labeled, alg local.ObliviousAlgorithm, graphKind, backend string, shards, updates int, seed int64, incremental, dedup, summary bool) error {
+	sched, err := buildScheduler(backend, shards, graphKind)
 	if err != nil {
 		return err
 	}
@@ -638,7 +667,36 @@ func runDynamic(l *graph.Labeled, alg local.ObliviousAlgorithm, graphKind, backe
 	return nil
 }
 
-func buildScheduler(name string) (engine.Scheduler, error) {
+// printShardedStats reports the halo-exchange accounting of a sharded-mp
+// run: shard count, imported ghost nodes, and encoded boundary-view bytes,
+// with per-round breakdowns. No-op for every other backend.
+func printShardedStats(s engine.Stats) {
+	if s.Shards == 0 {
+		return
+	}
+	fmt.Printf("sharded: shards=%d ghostNodes=%d haloBytes=%d\n", s.Shards, s.GhostNodes, s.HaloBytes)
+	for r := range s.RoundHaloBytes {
+		fmt.Printf("  round %d: ghostNodes=%d haloBytes=%d\n", r, s.RoundGhostNodes[r], s.RoundHaloBytes[r])
+	}
+}
+
+// partitionStrategyFor picks the sharded runtime's partition strategy by
+// graph family: the level-ordered families (pyramids, layered trees) shard
+// into level-contiguous id ranges, everything else into BFS-discovery
+// blocks.
+func partitionStrategyFor(graphKind string) graph.PartitionStrategy {
+	switch graphKind {
+	case "pyramid", "tree":
+		return graph.PartitionLevelContiguous
+	default:
+		return graph.PartitionBFSBlocked
+	}
+}
+
+func buildScheduler(name string, shards int, graphKind string) (engine.Scheduler, error) {
+	if shards > 0 {
+		return engine.ShardedMPPartitioned(shards, partitionStrategyFor(graphKind)), nil
+	}
 	switch name {
 	case "sequential":
 		return engine.Sequential, nil

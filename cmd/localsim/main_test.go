@@ -28,6 +28,13 @@ func TestLocalsimCombos(t *testing.T) {
 		{"-graph", "cycle", "-n", "60", "-decider", "degree2", "-dynamic", "10", "-summary"},
 		{"-graph", "random", "-n", "60", "-decider", "forest", "-dynamic", "20", "-incremental", "-seed", "5", "-summary"},
 		{"-graph", "grid", "-n", "6", "-decider", "3col", "-dynamic", "12", "-incremental", "-backend", "sharded", "-summary"},
+		{"-graph", "cycle", "-n", "64", "-decider", "degree2", "-shards", "4", "-summary"},
+		{"-graph", "pyramid", "-n", "4", "-decider", "triangle-free", "-shards", "3", "-dedup", "-summary"},
+		{"-graph", "tree", "-n", "5", "-decider", "degree2", "-shards", "2", "-summary"},
+		{"-graph", "grid", "-n", "8", "-decider", "triangle-free", "-shards", "4", "-faults", "messages", "-fault-rate", "0.4", "-summary"},
+		{"-graph", "cycle", "-n", "48", "-decider", "degree2", "-shards", "2", "-faults", "crash", "-fault-rate", "0.3", "-summary"},
+		{"-graph", "cycle", "-n", "32", "-decider", "coin", "-shards", "2", "-summary"},
+		{"-faults", "flip", "-fault-rate", "0.2", "-trials", "3", "-shards", "4"},
 	}
 	for _, args := range combos {
 		if err := run(args); err != nil {
@@ -84,6 +91,11 @@ func TestLocalsimUpFrontValidation(t *testing.T) {
 		{"-dynamic", "5", "-faults", "crash"},
 		{"-dynamic", "5", "-runs", "2"},
 		{"-dynamic", "5", "-decider", "coin"},
+		{"-shards", "-1"},
+		{"-shards", "4", "-backend", "sharded"},
+		{"-shards", "4", "-mp"},
+		{"-decider", "coin", "-trials", "10", "-shards", "4"},
+		{"-faults", "flip", "-trials", "3", "-shards", "4", "-incremental"},
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {

@@ -15,7 +15,7 @@ import (
 // may only change the cost accounting, never a verdict.
 
 func TestEvalBatchParity(t *testing.T) {
-	schedulers := []Scheduler{Sequential, Sharded, ShardedWith(3), MessagePassing}
+	schedulers := []Scheduler{Sequential, Sharded, ShardedWith(3), MessagePassing, ShardedMPWith(3)}
 	property := func(seed int64) bool {
 		base := parityInstances(seed)
 		for name, dec := range parityDeciders() {

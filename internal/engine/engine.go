@@ -213,6 +213,22 @@ type Stats struct {
 	// TimedOutRounds counts round-barrier timeouts observed by nodes
 	// (Options.RoundTimeout).
 	TimedOutRounds int
+	// Shards is the shard count of the ShardedMP backend (0 for every other
+	// scheduler).
+	Shards int
+	// GhostNodes counts the ghost (halo) node records imported across all
+	// shard-pair links by the ShardedMP backend — the total boundary-ball
+	// volume the partition forced onto the wire.
+	GhostNodes int
+	// HaloBytes is the total encoded size of the boundary-view messages the
+	// ShardedMP backend sent (every transmitted copy counted), the
+	// shard-boundary communication cost of the run.
+	HaloBytes int
+	// RoundHaloBytes and RoundGhostNodes break HaloBytes and GhostNodes down
+	// per exchange round (index r holds round r's tally); nil outside the
+	// ShardedMP backend.
+	RoundHaloBytes  []int
+	RoundGhostNodes []int
 }
 
 // Options tune one evaluation.

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -17,46 +16,180 @@ import (
 // pins this backend against the functional ones node for node (experiment
 // E13 reports the cost gap). It descends from internal/local's original
 // runtime, which now delegates here.
+//
+// Knowledge is held in flat sorted-row form (the same CSR discipline as the
+// extractor arena), not per-node maps: a node's picture of the network is a
+// strictly-ascending list of known node addresses with parallel label/id
+// columns and one full host adjacency row per known node. Two pictures merge
+// with a single two-pointer sweep over the flat arrays, and each goroutine
+// merges into a double buffer, so the steady state allocates only the
+// per-round immutable snapshot it must publish to its neighbours.
 
 // knowledge is a node's accumulated picture of the network, keyed by the
-// runtime's hidden node addresses (never exposed to deciders).
+// runtime's hidden node addresses (never exposed to deciders), in flat
+// sorted-row form.
+//
+// Invariant: nodes is strictly ascending and nbrs holds, for each known
+// node, its complete host adjacency row — a node only becomes known through
+// a snapshot chain rooted at that node, which carries its full row. Rows may
+// reference nodes that are not (yet) known; assembleView filters them.
 type knowledge struct {
-	labels map[int]graph.Label
-	ids    map[int]int
-	edges  map[[2]int]struct{}
+	nodes   []int32       // known node addresses, strictly ascending
+	offsets []int32       // len(nodes)+1; row i spans nbrs[offsets[i]:offsets[i+1]]
+	nbrs    []int32       // full host rows of the known nodes (host addresses)
+	labels  []graph.Label // labels[i] labels nodes[i]
+	ids     []int         // ids[i] identifies nodes[i]
 }
 
-func newKnowledge() *knowledge {
+// size is the knowledge-unit count reported in Stats (known nodes).
+func (k *knowledge) size() int { return len(k.nodes) }
+
+// lookupKnown binary-searches the ascending known-node column.
+func lookupKnown(nodes []int32, v int32) (int, bool) {
+	lo, hi := 0, len(nodes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nodes[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nodes) && nodes[lo] == v {
+		return lo, true
+	}
+	return lo, false
+}
+
+// mergeKnowledge writes the union of a and b into dst, reusing dst's
+// buffers. Rows of a node known to both sides are identical by the
+// knowledge invariant, so the union is a plain two-pointer merge of the
+// parallel columns — no per-row set arithmetic.
+func mergeKnowledge(dst, a, b *knowledge) {
+	dst.nodes = dst.nodes[:0]
+	dst.labels = dst.labels[:0]
+	dst.ids = dst.ids[:0]
+	dst.offsets = append(dst.offsets[:0], 0)
+	dst.nbrs = dst.nbrs[:0]
+	i, k := 0, 0
+	for i < len(a.nodes) || k < len(b.nodes) {
+		src, at := a, i
+		switch {
+		case k >= len(b.nodes):
+			i++
+		case i >= len(a.nodes) || b.nodes[k] < a.nodes[i]:
+			src, at = b, k
+			k++
+		case a.nodes[i] < b.nodes[k]:
+			i++
+		default: // known on both sides
+			i++
+			k++
+		}
+		dst.nodes = append(dst.nodes, src.nodes[at])
+		dst.labels = append(dst.labels, src.labels[at])
+		dst.ids = append(dst.ids, src.ids[at])
+		dst.nbrs = append(dst.nbrs, src.nbrs[src.offsets[at]:src.offsets[at+1]]...)
+		dst.offsets = append(dst.offsets, int32(len(dst.nbrs)))
+	}
+}
+
+// knowledgeBuf is one goroutine's working knowledge: a double buffer that
+// absorbs incoming snapshots by merging cur+src into spare and flipping, so
+// repeated merges churn two reusable arenas instead of allocating per merge.
+type knowledgeBuf struct {
+	cur, spare *knowledge
+}
+
+// newNodeKnowledge seeds node v's initial picture: itself, its label, its
+// hidden identifier, and its full host row. The row is copied, not aliased:
+// the initial buffer cycles through the merge double-buffer, whose in-place
+// truncate-and-append would otherwise scribble over the host's shared
+// neighbour arena.
+func newNodeKnowledge(j *job, v, id int) *knowledgeBuf {
+	row := j.l.G.Neighbors(v)
+	cur := &knowledge{
+		nodes:   []int32{int32(v)},
+		offsets: []int32{0, int32(len(row))},
+		nbrs:    append(make([]int32, 0, len(row)), row...),
+		labels:  []graph.Label{j.l.Labels[v]},
+		ids:     []int{id},
+	}
+	return &knowledgeBuf{cur: cur, spare: &knowledge{}}
+}
+
+// absorb merges one incoming snapshot into the working knowledge.
+func (b *knowledgeBuf) absorb(src *knowledge) {
+	mergeKnowledge(b.spare, b.cur, src)
+	b.cur, b.spare = b.spare, b.cur
+}
+
+// snapshot publishes an immutable exact-size copy of the working knowledge —
+// the one steady-state allocation of a protocol round (receivers keep
+// merging from it while the sender's working buffers move on).
+func (b *knowledgeBuf) snapshot() *knowledge {
+	k := b.cur
 	return &knowledge{
-		labels: make(map[int]graph.Label),
-		ids:    make(map[int]int),
-		edges:  make(map[[2]int]struct{}),
+		nodes:   append(make([]int32, 0, len(k.nodes)), k.nodes...),
+		offsets: append(make([]int32, 0, len(k.offsets)), k.offsets...),
+		nbrs:    append(make([]int32, 0, len(k.nbrs)), k.nbrs...),
+		labels:  append(make([]graph.Label, 0, len(k.labels)), k.labels...),
+		ids:     append(make([]int, 0, len(k.ids)), k.ids...),
 	}
 }
 
-func (k *knowledge) addEdge(u, v int) {
-	if u > v {
-		u, v = v, u
-	}
-	k.edges[[2]int{u, v}] = struct{}{}
+// mpAssemblers pools the ViewExtractors backing knowledge assembly: each
+// node decides exactly once, so a small pool of extractors (with their flat
+// arenas and canonical-code workspaces) cycles through the whole run instead
+// of every goroutine growing its own.
+var mpAssemblers = sync.Pool{
+	New: func() any {
+		return graph.NewViewExtractor(graph.NewLabeled(graph.FromEdges(0, nil), nil))
+	},
 }
 
-func (k *knowledge) merge(other *knowledge) {
-	for v, lab := range other.labels {
-		k.labels[v] = lab
+// assembleView restricts gathered knowledge to the induced radius-t ball
+// around centre and packages it as a View matching graph.ViewOf. The known
+// subgraph is built by filtering each known node's full host row to the
+// known set — a monotone dense renumbering, so BFS discovery order (and with
+// it the exact view layout) is preserved — and the ball restriction is the
+// extractor's, rebound to the known subgraph. Both faulty and lossless
+// message-passing paths, and the sharded runtime's halo assembly, share this
+// one routine.
+func assembleView(x *graph.ViewExtractor, know *knowledge, centre, t int, oblivious bool) *graph.View {
+	k := len(know.nodes)
+	offsets := make([]int32, k+1)
+	nbrs := make([]int32, 0, len(know.nbrs))
+	for i := 0; i < k; i++ {
+		for _, u := range know.nbrs[know.offsets[i]:know.offsets[i+1]] {
+			if li, ok := lookupKnown(know.nodes, u); ok {
+				nbrs = append(nbrs, int32(li))
+			}
+		}
+		offsets[i+1] = int32(len(nbrs))
 	}
-	for v, id := range other.ids {
-		k.ids[v] = id
+	g := graph.BuildCSR(offsets, func(dst []int32) { copy(dst, nbrs) })
+	l := graph.NewLabeled(g, know.labels)
+	centreIdx, ok := lookupKnown(know.nodes, int32(centre))
+	if !ok {
+		panic("engine: assembleView centre not in its own knowledge")
 	}
-	for e := range other.edges {
-		k.edges[e] = struct{}{}
+	if oblivious {
+		x.Reset(l)
+	} else {
+		// The identifier column is pairwise distinct by construction (one
+		// hidden identifier per node), so the Instance is built directly
+		// instead of through NewInstance's validating copy.
+		x.ResetInstance(&graph.Instance{Labeled: l, IDs: know.ids})
 	}
-}
-
-func (k *knowledge) clone() *knowledge {
-	c := newKnowledge()
-	c.merge(k)
-	return c
+	view := x.At(centreIdx, t)
+	// The extractor numbered Original against the known subgraph; rebind it
+	// to host addresses (in place — the slice is extractor scratch, reset on
+	// the next extraction).
+	for i, w := range view.Original {
+		view.Original[i] = int(know.nodes[w])
+	}
+	return view
 }
 
 type mpScheduler struct{}
@@ -118,25 +251,20 @@ func runMPLossless(j *job) bool {
 	for v := 0; v < n; v++ {
 		go func(v int) {
 			defer wg.Done()
-			know := newKnowledge()
-			know.labels[v] = j.l.Labels[v]
-			know.ids[v] = idOf(v)
-			for _, u := range j.l.G.Neighbors(v) {
-				know.addEdge(v, int(u))
-			}
+			buf := newNodeKnowledge(j, v, idOf(v))
 			sent, units := 0, 0
 			for round := 0; round < t; round++ {
 				// Send a snapshot to every neighbour, then receive from every
 				// neighbour. The per-edge one-slot buffers make each round a
 				// synchronisation barrier with the local neighbourhood.
-				snapshot := know.clone()
+				snapshot := buf.snapshot()
 				for _, u := range j.l.G.Neighbors(v) {
 					chans[edgeKey{from: v, to: int(u)}] <- snapshot
 					sent++
-					units += len(snapshot.labels)
+					units += snapshot.size()
 				}
 				for _, u := range j.l.G.Neighbors(v) {
-					know.merge(<-chans[edgeKey{from: int(u), to: v}])
+					buf.absorb(<-chans[edgeKey{from: int(u), to: v}])
 				}
 			}
 			// The protocol itself must run to completion (neighbours depend
@@ -145,11 +273,10 @@ func runMPLossless(j *job) bool {
 			crashes, retries := 0, 0
 			if !(j.opts.EarlyExit && rejected.Load()) {
 				verdict, ok := j.guardedVerdict(v, &crashes, &retries, func() Verdict {
-					view := assembleView(know, v, t)
-					if oblivious {
-						view.IDs = nil
-					}
-					return j.decideView(view, v)
+					x := mpAssemblers.Get().(*graph.ViewExtractor)
+					verdict := j.decideView(assembleView(x, buf.cur, v, t, oblivious), v)
+					mpAssemblers.Put(x)
+					return verdict
 				})
 				evaluated.Add(1)
 				if ok {
@@ -174,51 +301,4 @@ func runMPLossless(j *job) bool {
 	j.stats.Evaluated = int(evaluated.Load())
 	j.stats.EarlyExit = j.opts.EarlyExit && !accepted
 	return accepted
-}
-
-// assembleView restricts gathered knowledge to the induced radius-t ball
-// around centre and packages it as a View matching graph.ViewOf, including
-// the node ordering (the dense renumbering below is monotone in the original
-// indices, so BFS discovery order is preserved).
-func assembleView(know *knowledge, centre, t int) *graph.View {
-	// Build the known subgraph with a dense renumbering in deterministic
-	// order (map iteration is random).
-	order := make([]int, 0, len(know.labels))
-	for v := range know.labels {
-		order = append(order, v)
-	}
-	sort.Ints(order)
-	index := make(map[int]int, len(order))
-	for i, v := range order {
-		index[v] = i
-	}
-	b := graph.NewBuilderHint(len(order), len(know.edges))
-	for e := range know.edges {
-		u, okU := index[e[0]]
-		w, okW := index[e[1]]
-		if okU && okW {
-			b.AddEdge(u, w)
-		}
-	}
-	g := b.Build()
-	labels := make([]graph.Label, len(order))
-	idsSlice := make([]int, len(order))
-	for i, v := range order {
-		labels[i] = know.labels[v]
-		idsSlice[i] = know.ids[v]
-	}
-	l := graph.NewLabeled(g, labels)
-
-	// Restrict to the induced ball around the centre. Distances within t in
-	// the known subgraph equal true distances, because the full induced ball
-	// (with all its shortest paths) has been gathered.
-	ball := g.Ball(index[centre], t)
-	sub, orig := l.InducedSubgraph(ball)
-	ids := make([]int, len(orig))
-	originals := make([]int, len(orig))
-	for i, w := range orig {
-		ids[i] = idsSlice[w]
-		originals[i] = order[w]
-	}
-	return &graph.View{Labeled: sub, Root: 0, Radius: t, IDs: ids, Original: originals}
 }

@@ -241,19 +241,14 @@ func runMPFaulty(j *job) bool {
 	for v := 0; v < n; v++ {
 		go func(v int) {
 			defer wg.Done()
-			know := newKnowledge()
-			know.labels[v] = j.l.Labels[v]
-			know.ids[v] = idOf(v)
-			for _, u := range j.l.G.Neighbors(v) {
-				know.addEdge(v, int(u))
-			}
+			buf := newNodeKnowledge(j, v, idOf(v))
 			var pending []mpMsg
 			incomplete := !plan.clean[v]
 			timedOut := 0
 			left := false
 			sent, units := 0, 0
 			for round := 0; round < t; round++ {
-				snapshot := know.clone()
+				snapshot := buf.snapshot()
 				for _, u := range j.l.G.Neighbors(v) {
 					fate := j.messageFate(round, v, int(u))
 					if !fate.Delivered {
@@ -263,7 +258,7 @@ func runMPFaulty(j *job) bool {
 					for c := 0; c <= fate.Duplicates; c++ {
 						chans[edgeKey{from: v, to: int(u)}] <- m
 						sent++
-						units += len(snapshot.labels)
+						units += snapshot.size()
 					}
 				}
 				if !left && !barrier.wait(j.opts.RoundTimeout) {
@@ -281,7 +276,7 @@ func runMPFaulty(j *job) bool {
 						select {
 						case m := <-ch:
 							if m.deliverRound <= round {
-								know.merge(m.know)
+								buf.absorb(m.know)
 								if m.sendRound == round && m.deliverRound == round {
 									onTime++
 								}
@@ -296,7 +291,7 @@ func runMPFaulty(j *job) bool {
 				kept := pending[:0]
 				for _, m := range pending {
 					if m.deliverRound <= round {
-						know.merge(m.know)
+						buf.absorb(m.know)
 						// A round-r message drained ahead of the receiver's
 						// round r (the sender ran ahead after the barrier) is
 						// still an on-time arrival of the synchronous
@@ -328,11 +323,10 @@ func runMPFaulty(j *job) bool {
 					})
 				} else {
 					verdict, ok = j.guardedVerdict(v, &crashes, &retries, func() Verdict {
-						view := assembleView(know, v, t)
-						if oblivious {
-							view.IDs = nil
-						}
-						return j.decideView(view, v)
+						x := mpAssemblers.Get().(*graph.ViewExtractor)
+						verdict := j.decideView(assembleView(x, buf.cur, v, t, oblivious), v)
+						mpAssemblers.Put(x)
+						return verdict
 					})
 				}
 				evaluated.Add(1)

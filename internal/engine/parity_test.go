@@ -119,7 +119,11 @@ func idsFor(n int, seed int64) []int {
 }
 
 func TestSchedulerParity(t *testing.T) {
-	schedulers := []Scheduler{Sequential, Sharded, ShardedWith(3), MessagePassing}
+	schedulers := []Scheduler{
+		Sequential, Sharded, ShardedWith(3), MessagePassing,
+		ShardedMPWith(1), ShardedMPWith(2), ShardedMPWith(4), ShardedMPWith(8),
+		ShardedMPPartitioned(3, graph.PartitionLevelContiguous),
+	}
 	property := func(seed int64) bool {
 		for _, base := range parityInstances(seed) {
 			for name, dec := range parityDeciders() {
@@ -172,7 +176,7 @@ func TestSchedulerParity(t *testing.T) {
 // Early exit must agree with full evaluation on the acceptance bit for every
 // scheduler, on accepted and rejected instances alike.
 func TestEarlyExitAcceptanceParity(t *testing.T) {
-	schedulers := []Scheduler{Sequential, Sharded, MessagePassing}
+	schedulers := []Scheduler{Sequential, Sharded, MessagePassing, ShardedMPWith(4)}
 	property := func(seed int64) bool {
 		for _, l := range parityInstances(seed) {
 			for name, dec := range parityDeciders() {

@@ -212,17 +212,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	checkBounds := func(ratio float64) {
+	// A failing gate must name the offending metric and show both sides of
+	// the comparison, so a red CI line is diagnosable without rerunning:
+	// detail carries the two underlying values the ratio was computed from.
+	checkBounds := func(ratio float64, unit, detail string) {
 		if ratio > *maxRatio {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s at ratio %.3f, above the %.2f allowed\n",
-				*bench, ratio, *maxRatio)
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s %s ratio %.3f (%s), above the %.2f allowed\n",
+				*bench, unit, ratio, detail, *maxRatio)
 			os.Exit(1)
 		}
 		if *minRatio >= 0 && ratio < *minRatio {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s at ratio %.3f, below the %.2f required\n",
-				*bench, ratio, *minRatio)
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s %s ratio %.3f (%s), below the %.2f required\n",
+				*bench, unit, ratio, detail, *minRatio)
 			os.Exit(1)
 		}
+	}
+	gateUnit := "ns/op"
+	if *metricName != "" {
+		gateUnit = *metricName
 	}
 	if *baseline == "" && *reference != "" {
 		ratio, err := metric(cur, *bench, *reference, *metricName, *current)
@@ -230,9 +237,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
 		}
+		curVal, _ := metric(cur, *bench, "", *metricName, *current)
+		refVal, _ := metric(cur, *reference, "", *metricName, *current)
 		fmt.Printf("benchgate: %s at %.3fx of %s in %s (max %.2f, min %.2f)\n",
 			*bench, ratio, *reference, *current, *maxRatio, *minRatio)
-		checkBounds(ratio)
+		checkBounds(ratio, gateUnit, fmt.Sprintf("current %.4g vs reference %s %.4g",
+			curVal, *reference, refVal))
 	}
 	if *baseline != "" {
 		base, err := parseArtifact(*baseline, *metricName)
@@ -251,16 +261,13 @@ func main() {
 			os.Exit(2)
 		}
 		ratio := curMetric / baseMetric
-		unit := "ns/op"
-		if *metricName != "" {
-			unit = *metricName
-		}
+		unit := gateUnit
 		if *reference != "" {
-			unit = "x reference"
+			unit = gateUnit + " x reference"
 		}
 		fmt.Printf("benchgate: %s baseline %.4g %s, current %.4g %s, ratio %.3f (max %.2f, min %.2f)\n",
 			*bench, baseMetric, unit, curMetric, unit, ratio, *maxRatio, *minRatio)
-		checkBounds(ratio)
+		checkBounds(ratio, unit, fmt.Sprintf("baseline %.4g vs current %.4g", baseMetric, curMetric))
 	}
 	fmt.Println("benchgate: OK")
 }
